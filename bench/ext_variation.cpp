@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extension (paper Secs. 1, 4.1, 4.3.3): process variation and VSS
+ * retuning.
+ *
+ * The paper measures a VT spread "within 0.5 V" across a sample and
+ * argues that the pseudo-E inverter's linear VM-vs-VSS relationship
+ * "gives us the flexibility to design a robust circuit: the
+ * cross-sample variation of VM from process variation can be tuned by
+ * applying a different VSS." This bench runs the Monte Carlo: sample
+ * varied devices, measure the VM and noise-margin distribution at the
+ * nominal VSS = -15 V, then let each sample pick its own VSS and show
+ * the yield recovery.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+#include "device/variation.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+
+namespace {
+
+struct Sample
+{
+    double vmNominal = 0.0;
+    double nmNominal = 0.0;
+    double vmTuned = 0.0;
+    double nmTuned = 0.0;
+    double chosenVss = -15.0;
+};
+
+/** Noise margin = min(NMH, NML) of the sampled inverter at a VSS. */
+cells::VtcResult
+measure(const device::Level61Params &params, double vss)
+{
+    cells::SupplyConfig supply{5.0, vss};
+    cells::CellFactory factory(params, cells::CellSizing{}, supply);
+    auto cell = factory.inverter(cells::InverterKind::PseudoE);
+    cells::VtcAnalyzer analyzer(81);
+    return analyzer.analyze(cell);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension — Monte Carlo variation and per-sample VSS "
+                "retuning (VDD = 5 V)\n\n");
+
+    // Batch-to-batch corners: the published 0.5 V spread is within
+    // one sample; deposition-run corners move VT and mobility much
+    // farther, and those are what a per-board VSS trim compensates.
+    device::VariationConfig corners;
+    corners.vtSigma = 0.45;
+    corners.mobilityLnSigma = 0.30;
+    const device::VariationModel variation(corners);
+    Rng rng(2026);
+    const device::Level61Params nominal;
+
+    constexpr int n_samples = 24;
+    constexpr double vm_target = 2.5;
+    constexpr double vm_window = 0.35; // |VM - VDD/2| acceptance
+    constexpr double nm_floor = 0.30;  // volts
+
+    std::vector<Sample> samples;
+    const std::vector<double> vss_grid = {-20.0, -17.5, -15.0, -12.5,
+                                          -10.0};
+    for (int i = 0; i < n_samples; ++i) {
+        const auto params = variation.sample(nominal, rng);
+        Sample s;
+        const auto at_nominal = measure(params, -15.0);
+        s.vmNominal = at_nominal.vm;
+        s.nmNominal = std::min(at_nominal.nmh, at_nominal.nml);
+
+        // Retune: pick the VSS that best centers VM.
+        double best_err = 1e9;
+        for (double vss : vss_grid) {
+            const auto r = measure(params, vss);
+            const double err = std::abs(r.vm - vm_target);
+            if (err < best_err) {
+                best_err = err;
+                s.vmTuned = r.vm;
+                s.nmTuned = std::min(r.nmh, r.nml);
+                s.chosenVss = vss;
+            }
+        }
+        samples.push_back(s);
+    }
+
+    auto yield = [&](auto field_vm, auto field_nm) {
+        int pass = 0;
+        for (const auto &s : samples)
+            if (std::abs(field_vm(s) - vm_target) < vm_window &&
+                field_nm(s) > nm_floor)
+                ++pass;
+        return 100.0 * pass / n_samples;
+    };
+
+    Table table({"sample", "VM @-15V", "NM @-15V", "chosen VSS",
+                 "VM tuned", "NM tuned"});
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto &s = samples[i];
+        table.row()
+            .add(static_cast<long long>(i))
+            .add(s.vmNominal, 3)
+            .add(s.nmNominal, 3)
+            .add(s.chosenVss, 3)
+            .add(s.vmTuned, 3)
+            .add(s.nmTuned, 3);
+    }
+    table.render(std::cout);
+
+    const double y0 = yield([](const Sample &s) { return s.vmNominal; },
+                            [](const Sample &s) { return s.nmNominal; });
+    const double y1 = yield([](const Sample &s) { return s.vmTuned; },
+                            [](const Sample &s) { return s.nmTuned; });
+    std::printf("\nyield (|VM - 2.5| < %.1f V and NM > %.2f V): "
+                "%.0f%% at fixed VSS -> %.0f%% with per-sample VSS\n",
+                vm_window, nm_floor, y0, y1);
+    std::printf("Paper claim check: the VM-vs-VSS linearity is a "
+                "variation-compensation knob.\n");
+    return 0;
+}

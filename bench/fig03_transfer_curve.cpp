@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paper Fig. 3: ID-VGS transfer characteristics of a pentacene OTFT.
+ *
+ * Measures the golden pentacene device at |VDS| = 1 V and 10 V on the
+ * synthetic instrument bench, prints the sampled curves (decimated)
+ * and the extracted figures of merit next to the published values:
+ * W/L = 1000/80 um, mobility 0.16 cm^2/Vs, SS 350 mV/dec, on/off 1e6,
+ * VT -1.3 V (VDS = 1 V) / +1.3 V (VDS = 10 V).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "device/extraction.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+
+int
+main()
+{
+    const auto curves = device::measurePentaceneFig3();
+    const device::ParameterExtractor extractor(
+        device::Polarity::PType, device::pentaceneGeometry());
+
+    std::printf("Fig. 3 — pentacene OTFT transfer characteristics "
+                "(W/L = 1000/80 um)\n\n");
+
+    Table curve_table({"VGS (V)", "ID @|VDS|=1V (A)", "IG (A)",
+                       "ID @|VDS|=10V (A)"});
+    for (std::size_t i = 0; i < curves[0].vgs.size(); i += 10) {
+        curve_table.row()
+            .add(curves[0].vgs[i], 3)
+            .add(curves[0].id[i], 3)
+            .add(curves[0].ig[i], 3)
+            .add(curves[1].id[i], 3);
+    }
+    curve_table.render(std::cout);
+
+    Table fom({"parameter", "paper", "measured @1V", "measured @10V"});
+    const auto p1 = extractor.extract(curves[0]);
+    const auto p10 = extractor.extract(curves[1]);
+    fom.row()
+        .add("mobility (cm^2/Vs)")
+        .add("0.16")
+        .add(p1.mobility * 1e4, 3)
+        .add(p10.mobility * 1e4, 3);
+    fom.row()
+        .add("VT (V)")
+        .add("-1.3 / +1.3")
+        .add(p1.vt, 3)
+        .add(p10.vt, 3);
+    fom.row()
+        .add("SS (mV/dec)")
+        .add("350")
+        .add(p1.ss * 1e3, 3)
+        .add(p10.ss * 1e3, 3);
+    fom.row()
+        .add("on/off ratio")
+        .add("1e6")
+        .add(p1.onOffRatio, 3)
+        .add(p10.onOffRatio, 3);
+    std::printf("\n");
+    fom.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Fig. 4: level-1 vs level-61 SPICE model fits of the measured
+ * pentacene transfer curve at |VDS| = 1 V.
+ *
+ * Fits both models to the synthetic measurement, prints sampled
+ * measured/fitted currents, and the fit quality. The paper's result:
+ * level 1 captures the on-region qualitatively but cannot represent
+ * subthreshold conduction or leakage; level 61 fits the whole curve.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "device/fitting.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+
+int
+main()
+{
+    const auto curves = device::measurePentaceneFig3();
+    const auto &curve = curves[0]; // |VDS| = 1 V
+
+    device::ModelFitter fitter(device::Polarity::PType,
+                               device::pentaceneGeometry());
+    const auto fit1 = fitter.fitLevel1(curve);
+    const auto fit61 = fitter.fitLevel61(curve);
+
+    const device::Level1Model level1(device::Polarity::PType,
+                                     device::pentaceneGeometry(),
+                                     fit1.params);
+    const device::Level61Model level61(device::Polarity::PType,
+                                       device::pentaceneGeometry(),
+                                       fit61.params);
+
+    std::printf("Fig. 4 — SPICE model fits of the pentacene transfer "
+                "curve (|VDS| = 1 V)\n\n");
+
+    Table table({"VGS (V)", "measured ID (A)", "level-1 fit (A)",
+                 "level-61 fit (A)"});
+    for (std::size_t i = 0; i < curve.vgs.size(); i += 10) {
+        const double vgs = curve.vgs[i];
+        table.row()
+            .add(vgs, 3)
+            .add(curve.id[i], 3)
+            .add(std::abs(level1.drainCurrent(vgs, -1.0)), 3)
+            .add(std::abs(level61.drainCurrent(vgs, -1.0)), 3);
+    }
+    table.render(std::cout);
+
+    Table quality({"model", "RMS log10(ID) error", "on-region RMS "
+                   "relative error"});
+    quality.row()
+        .add("level 1 (Shichman-Hodges)")
+        .add(fit1.quality.rmsLogError, 3)
+        .add(fit1.quality.rmsOnRegionError, 3);
+    quality.row()
+        .add("level 61 (RPI TFT)")
+        .add(fit61.quality.rmsLogError, 3)
+        .add(fit61.quality.rmsOnRegionError, 3);
+    std::printf("\n");
+    quality.render(std::cout);
+
+    std::printf("\nPaper: the level-61 model \"fits the device well "
+                "when VDS = 1 V\"; the level-1 model misses the "
+                "sub-VT and leakage regions (large log error).\n");
+    return 0;
+}

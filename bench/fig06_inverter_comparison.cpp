@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Paper Fig. 6: diode-load vs biased-load vs pseudo-E inverter DC
+ * comparison at VDD = 15 V.
+ *
+ * Paper values: VM 8.1 / 6.8 / 7.7 V, max gain 1.2 / 1.6 / 3.0,
+ * NMH 0.3 / 0.9 / 3.0 V, NML 0.4 / 1.2 / 3.5 V, static power (VIN=0)
+ * 109 / 126 / 215 uW, static power (VIN=10V) <0.01 / <0.01 / 0.83 uW,
+ * with VSS = - / -5 / -15 V.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+using cells::InverterKind;
+
+int
+main()
+{
+    struct Row
+    {
+        InverterKind kind;
+        double vss;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {InverterKind::DiodeLoad, 0.0,
+         "VM 8.1, gain 1.2, NMH 0.3, NML 0.4, P 109/<0.01 uW"},
+        {InverterKind::BiasedLoad, -5.0,
+         "VM 6.8, gain 1.6, NMH 0.9, NML 1.2, P 126/<0.01 uW"},
+        {InverterKind::PseudoE, -15.0,
+         "VM 7.7, gain 3.0, NMH 3.0, NML 3.5, P 215/0.83 uW"},
+    };
+
+    std::printf("Fig. 6 — inverter DC comparison at VDD = 15 V\n\n");
+
+    Table table({"style", "VSS (V)", "VM (V)", "max gain",
+                 "NMH (V)", "NML (V)", "VOH (V)",
+                 "VOL (V)", "P(VIN=0) uW", "P(VIN=VDD) uW"});
+    for (const Row &row : rows) {
+        cells::SupplyConfig supply{15.0, row.vss};
+        cells::CellFactory factory(device::Level61Params{},
+                                   cells::CellSizing{}, supply);
+        cells::BuiltCell cell = factory.inverter(row.kind);
+        cells::VtcAnalyzer analyzer(151);
+        const auto r = analyzer.analyze(cell);
+        table.row()
+            .add(cells::toString(row.kind))
+            .add(row.vss, 3)
+            .add(r.vm, 3)
+            .add(r.maxGain, 3)
+            .add(r.nmh, 3)
+            .add(r.nml, 3)
+            .add(r.voh, 3)
+            .add(r.vol, 3)
+            .add(r.staticPowerLow * 1e6, 3)
+            .add(r.staticPowerHigh * 1e6, 3);
+    }
+    table.render(std::cout);
+
+    std::printf("\nPaper values:\n");
+    for (const Row &row : rows)
+        std::printf("  %-12s %s\n", cells::toString(row.kind),
+                    row.paper);
+    std::printf("\nPaper trend check: pseudo-E gain ~2.5x the "
+                "diode-load gain, noise margin up ~10x, full output "
+                "swing.\n");
+    return 0;
+}

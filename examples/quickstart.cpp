@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: the whole paper flow (Fig. 10) in one short program.
+ *
+ *   1. "Measure" a pentacene OTFT and extract its figures of merit.
+ *   2. Build a pseudo-E inverter and read its VTC parameters.
+ *   3. Characterize the organic library (cached) and compare an
+ *      inverter arc against the 45 nm silicon library.
+ *   4. Synthesize the 9-stage baseline core in both technologies and
+ *      print frequency/area.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+#include "core/synthesizer.hpp"
+#include "device/extraction.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "liberty/characterizer.hpp"
+#include "liberty/silicon.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+
+int
+main()
+{
+    // --- 1. Device: measure and extract.
+    std::printf("== 1. pentacene OTFT ==\n");
+    const auto curves = device::measurePentaceneFig3();
+    const device::ParameterExtractor extractor(
+        device::Polarity::PType, device::pentaceneGeometry());
+    const auto params = extractor.extract(curves[0]);
+    std::printf("mobility %.3f cm^2/Vs, VT %.2f V, SS %.0f mV/dec, "
+                "on/off %.1e\n",
+                params.mobility * 1e4, params.vt, params.ss * 1e3,
+                params.onOffRatio);
+
+    // --- 2. Cell: pseudo-E inverter DC parameters at VDD = 5 V.
+    std::printf("\n== 2. pseudo-E inverter (VDD 5 V, VSS -15 V) ==\n");
+    cells::CellFactory factory;
+    auto inverter = factory.inverter(cells::InverterKind::PseudoE);
+    cells::VtcAnalyzer analyzer(101);
+    const auto vtc = analyzer.analyze(inverter);
+    std::printf("VM %.2f V, gain %.2f, NMH %.2f V, NML %.2f V, "
+                "static power %.0f uW\n",
+                vtc.vm, vtc.maxGain, vtc.nmh, vtc.nml,
+                vtc.staticPowerLow * 1e6);
+
+    // --- 3. Libraries: organic (characterized) vs silicon.
+    std::printf("\n== 3. standard cell libraries ==\n");
+    const auto organic = liberty::cachedOrganicLibrary();
+    const auto silicon = liberty::makeSiliconLibrary();
+    const auto &org_inv = organic.cell("inv");
+    const auto &si_inv = silicon.cell("inv");
+    const double org_fo4 = org_inv.arc(0).worstDelay(
+        organic.defaultSlew(), 4.0 * org_inv.inputCap);
+    const double si_fo4 = si_inv.arc(0).worstDelay(
+        silicon.defaultSlew(), 4.0 * si_inv.inputCap);
+    std::printf("inverter FO4: organic %s vs silicon %s (%.1e x)\n",
+                formatSi(org_fo4, "s").c_str(),
+                formatSi(si_fo4, "s").c_str(), org_fo4 / si_fo4);
+
+    // --- 4. Cores: the 9-stage baseline under each technology.
+    std::printf("\n== 4. 9-stage baseline core ==\n");
+    for (const liberty::CellLibrary *lib : {&silicon, &organic}) {
+        core::CoreSynthesizer synth(*lib);
+        const auto timing = synth.synthesize(arch::baselineConfig());
+        std::printf("%-9s f = %-12s area = %.4g mm^2  critical "
+                    "stage: %s\n",
+                    lib->name().c_str(),
+                    formatSi(timing.frequency, "Hz").c_str(),
+                    timing.area * 1e6, arch::toString(timing.critical));
+    }
+    std::printf("\nNext: run the bench/fig* binaries to regenerate "
+                "every figure of the paper.\n");
+    return 0;
+}

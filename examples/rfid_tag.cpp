@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Organic RFID-tag response-latency budget.
+ *
+ * RFID tags are one of the paper's huge-volume, never-recycled
+ * targets (Sec. 2; organic RFID precedents in its related work). A
+ * tag must compute its response (decode command, check ID, assemble
+ * reply) within the reader's timeout. This example sweeps pipeline
+ * depth on a minimal organic core and reports response latency and
+ * static energy per transaction, showing where deeper pipelines stop
+ * paying off for latency-bound (rather than throughput-bound) work.
+ *
+ * Build & run:  ./build/examples/rfid_tag
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "liberty/characterizer.hpp"
+#include "util/table.hpp"
+
+using namespace otft;
+
+namespace {
+
+/** Instructions per tag transaction (command decode + reply). */
+constexpr double instructionsPerTransaction = 600.0;
+
+/** Reader timeout for a reply. */
+constexpr double readerTimeout = 20.0; // seconds, contactless-slow
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Organic RFID tag study: %g-instruction transaction, "
+                "%.0f s reader timeout\n\n",
+                instructionsPerTransaction, readerTimeout);
+
+    const auto organic = liberty::cachedOrganicLibrary();
+    core::ExplorerConfig config;
+    config.instructions = 30000;
+    core::ArchExplorer explorer(organic, config);
+
+    Table table({"stages", "freq", "IPC", "latency (s)",
+                 "meets timeout", "static power", "energy/txn (J)"});
+
+    arch::CoreConfig candidate = arch::baselineConfig();
+    for (int stages = 9; stages <= 14; ++stages) {
+        if (candidate.totalStages() < stages)
+            candidate = explorer.synthesizer().deepen(candidate);
+        const auto pt = explorer.evaluate(candidate);
+
+        // Latency model: instructions / (IPC * f) plus one pipeline
+        // fill.
+        const double fill =
+            candidate.totalStages() / pt.timing.frequency;
+        const double latency =
+            instructionsPerTransaction / pt.performance + fill;
+
+        // Static power: the dominant organic cost (pseudo-E cells
+        // burn level-shifter current continuously). Approximate from
+        // the synthesized leakage of the baseline region mix via the
+        // explorer's timing area and the library leakage density.
+        core::CoreSynthesizer &synth = explorer.synthesizer();
+        const auto timing = synth.synthesize(candidate);
+        // Leakage density: use the inverter's leakage per area.
+        const auto &inv = organic.cell("inv");
+        const double static_power =
+            timing.area / inv.area * inv.leakage * 0.3;
+        const double energy = static_power * latency;
+
+        table.row()
+            .add(static_cast<long long>(candidate.totalStages()))
+            .add(formatSi(pt.timing.frequency, "Hz"))
+            .add(pt.meanIpc, 3)
+            .add(latency, 3)
+            .add(latency <= readerTimeout ? "yes" : "no")
+            .add(formatSi(static_power, "W"))
+            .add(energy, 3);
+    }
+    table.render(std::cout);
+
+    std::printf("\nTakeaway: latency-bound tags want the shallowest "
+                "core that makes the timeout — deep pipelines only "
+                "pay for streaming work.\n");
+    return 0;
+}

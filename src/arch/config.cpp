@@ -1,0 +1,81 @@
+#include "arch/config.hpp"
+
+#include <sstream>
+
+namespace otft::arch {
+
+const char *
+toString(Region region)
+{
+    switch (region) {
+      case Region::Fetch:
+        return "fetch";
+      case Region::Decode:
+        return "decode";
+      case Region::Rename:
+        return "rename";
+      case Region::Dispatch:
+        return "dispatch";
+      case Region::Issue:
+        return "issue";
+      case Region::RegRead:
+        return "regread";
+      case Region::Execute:
+        return "execute";
+      case Region::Retire:
+        return "retire";
+    }
+    return "?";
+}
+
+int
+CoreConfig::totalStages() const
+{
+    int total = 0;
+    for (int s : stages)
+        total += s;
+    return total;
+}
+
+int
+CoreConfig::frontEndDepth() const
+{
+    return stagesIn(Region::Fetch) + stagesIn(Region::Decode) +
+           stagesIn(Region::Rename) + stagesIn(Region::Dispatch);
+}
+
+int
+CoreConfig::branchResolutionDepth() const
+{
+    return frontEndDepth() + stagesIn(Region::Issue) +
+           stagesIn(Region::RegRead) + stagesIn(Region::Execute);
+}
+
+int
+CoreConfig::wakeupPenalty() const
+{
+    return stagesIn(Region::Issue) - 1;
+}
+
+std::string
+CoreConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "fe" << fetchWidth << "/be" << backendWidth() << "/"
+        << totalStages() << "st(";
+    for (int r = 0; r < numRegions; ++r) {
+        if (r)
+            oss << ",";
+        oss << stages[r];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+CoreConfig
+baselineConfig()
+{
+    return CoreConfig{};
+}
+
+} // namespace otft::arch

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Superscalar core configuration (the AnyCore-style design space).
+ *
+ * The paper's sweeps move along two axes (Sec. 5.1):
+ *  - front-end width: instructions fetched/decoded/dispatched per
+ *    cycle (Fig. 13/14 x-axis, 1-6);
+ *  - back-end width: number of ALU execution pipes; memory and
+ *    control pipes are fixed at one each, so the paper's "back-end
+ *    width 3..7" maps to 1..5 ALU pipes;
+ * and one depth axis: the 9-stage baseline is deepened to 15 stages
+ * by cutting whichever stage is on the critical path (Fig. 11).
+ */
+
+#ifndef OTFT_ARCH_CONFIG_HPP
+#define OTFT_ARCH_CONFIG_HPP
+
+#include <string>
+
+namespace otft::arch {
+
+/** Pipeline regions that can be deepened by the synthesizer. */
+enum class Region {
+    Fetch,
+    Decode,
+    Rename,
+    Dispatch,
+    Issue,
+    RegRead,
+    Execute,
+    Retire,
+};
+
+/** Number of Region values. */
+inline constexpr int numRegions = 8;
+
+/** @return printable region name. */
+const char *toString(Region region);
+
+/** Core configuration. */
+struct CoreConfig
+{
+    /** Front-end width (fetch/decode/dispatch per cycle). */
+    int fetchWidth = 1;
+    /** ALU execution pipes (back-end width minus mem and branch). */
+    int aluPipes = 1;
+    /** Memory pipes (fixed at 1 in the paper's sweeps). */
+    int memPipes = 1;
+    /** Branch/control pipes (fixed at 1). */
+    int branchPipes = 1;
+
+    /** Stages per region; baseline sums to 9. */
+    int stages[numRegions] = {2, 1, 1, 1, 1, 1, 1, 1};
+
+    /** Structure sizes (AnyCore-class). */
+    int robSize = 128;
+    int iqSize = 32;
+    int lsqSize = 32;
+
+    /** Gshare history bits / table size log2. */
+    int predictorBits = 12;
+
+    /** Execution latencies at baseline depth, cycles. */
+    int mulLatency = 3;
+    int divLatency = 12;
+    /** Cache hierarchy latencies, cycles. */
+    int l1Latency = 2;
+    int l2Latency = 12;
+    int memLatency = 120;
+
+    /** The paper's back-end width (execution pipes total). */
+    int backendWidth() const
+    {
+        return aluPipes + memPipes + branchPipes;
+    }
+
+    int stagesIn(Region r) const
+    {
+        return stages[static_cast<int>(r)];
+    }
+    int &stagesIn(Region r) { return stages[static_cast<int>(r)]; }
+
+    /** Total pipeline stages. */
+    int totalStages() const;
+
+    /** Stages from fetch to dispatch (refill path after a flush). */
+    int frontEndDepth() const;
+
+    /**
+     * Cycles from fetch to branch execution: the misprediction
+     * penalty grows with depth, the paper's primary IPC-loss driver.
+     */
+    int branchResolutionDepth() const;
+
+    /**
+     * Extra cycles added to every dependent-operation latency by a
+     * multi-cycle issue/wakeup loop (issue stages beyond one break
+     * back-to-back wakeup).
+     */
+    int wakeupPenalty() const;
+
+    /** Effective ALU latency (execute region depth). */
+    int aluLatency() const { return stagesIn(Region::Execute); }
+
+    /** One-line description for reports. */
+    std::string describe() const;
+};
+
+/** The paper's baseline: single-issue, 9-stage out-of-order core. */
+CoreConfig baselineConfig();
+
+} // namespace otft::arch
+
+#endif // OTFT_ARCH_CONFIG_HPP

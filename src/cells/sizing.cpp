@@ -1,0 +1,113 @@
+#include "cells/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/transient.hpp"
+#include "util/logging.hpp"
+#include "util/optimize.hpp"
+
+namespace otft::cells {
+
+double
+measureInverterDelay(const CellFactory &factory, double fanout, double dt)
+{
+    const double vdd = factory.supply().vdd;
+    const double load = fanout * factory.inputCap();
+    BuiltCell cell = factory.inverter(InverterKind::PseudoE, load);
+
+    // Full-swing pulse: rise at t1, fall at t2, with edges fast
+    // relative to the cell's own response.
+    const double t_edge = 20.0 * dt;
+    const double t1 = 50.0 * dt;
+    const double t_width = 1000.0 * dt;
+    cell.ckt.setSourceWave(cell.inputSources[0],
+                           circuit::Pwl::pulse(0.0, vdd, t1, t_edge,
+                                               t_width));
+
+    circuit::TransientConfig config;
+    config.dt = dt;
+    config.tStop = t1 + 2.0 * t_edge + 2.0 * t_width;
+
+    circuit::TransientAnalysis tran(cell.ckt);
+    const auto result = tran.run(config);
+    const auto in = result.node(cell.inputs[0]);
+    const auto out = result.node(cell.out);
+
+    // Output falls on the input rise and rises on the input fall. Use
+    // the settled output levels as the swing reference.
+    const double v_hi = out.value.front();
+    const double v_lo = out.at(t1 + t_edge + 0.9 * t_width);
+
+    const double tphl = circuit::measureDelay(in, out, 0.0, vdd, true,
+                                              v_lo, v_hi, false, 0.0);
+    const double tplh = circuit::measureDelay(
+        in, out, 0.0, vdd, false, v_lo, v_hi, true, t1 + t_edge);
+
+    if (tphl < 0.0 || tplh < 0.0)
+        return 1.0; // output never switched: huge penalty delay
+    return 0.5 * (tphl + tplh);
+}
+
+SizingEvaluation
+SizingOptimizer::evaluate(const CellSizing &sizing) const
+{
+    SizingEvaluation eval;
+    eval.sizing = sizing;
+
+    CellFactory factory(deviceParams, sizing, supply);
+    BuiltCell inv = factory.inverter(InverterKind::PseudoE);
+    eval.activeArea = inv.activeArea;
+
+    VtcAnalyzer analyzer(config_.vtcPoints);
+    eval.vtc = analyzer.analyze(inv);
+    eval.gateDelay =
+        measureInverterDelay(factory, 1.0, config_.transientDt);
+
+    const UtilityWeights &w = config_.weights;
+    const double vdd = supply.vdd;
+    const double vm_err = std::abs(eval.vtc.vm - 0.5 * vdd) / vdd;
+    const double nm = std::min(eval.vtc.nmh, eval.vtc.nml) / vdd;
+    const double swing_loss =
+        (std::max(vdd - eval.vtc.voh, 0.0) +
+         std::max(eval.vtc.vol, 0.0)) / vdd;
+
+    eval.utility = w.noiseMargin * nm - w.vmCentering * vm_err -
+                   w.swing * swing_loss -
+                   w.delay * eval.gateDelay / w.delayScale -
+                   w.area * eval.activeArea / w.areaScale;
+    return eval;
+}
+
+SizingEvaluation
+SizingOptimizer::optimize(const CellSizing &start) const
+{
+    auto sizing_of = [&](const std::vector<double> &x) {
+        CellSizing s = start;
+        s.wShiftDrive = std::clamp(std::exp(x[0]), 10e-6, 3000e-6);
+        s.wShiftLoad = std::clamp(std::exp(x[1]), 5e-6, 3000e-6);
+        s.wDrive = std::clamp(std::exp(x[2]), 10e-6, 3000e-6);
+        s.wLoad = std::clamp(std::exp(x[3]), 10e-6, 3000e-6);
+        return s;
+    };
+
+    auto objective = [&](const std::vector<double> &x) {
+        try {
+            return -evaluate(sizing_of(x)).utility;
+        } catch (const FatalError &) {
+            // Non-convergent corner of the design space.
+            return 1e6;
+        }
+    };
+
+    NelderMeadOptions options;
+    options.maxEvals = config_.maxEvals;
+    options.initialScale = 0.4;
+    const std::vector<double> x0 = {
+        std::log(start.wShiftDrive), std::log(start.wShiftLoad),
+        std::log(start.wDrive), std::log(start.wLoad)};
+    const auto result = nelderMead(objective, x0, options);
+    return evaluate(sizing_of(result.x));
+}
+
+} // namespace otft::cells

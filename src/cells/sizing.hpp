@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Scripted cell sizing search (paper Sec. 4.3.4).
+ *
+ * "The fine-tuning of circuit sizing is crucial for creating a good
+ * logic gate. ... we utilized a script to explore the design space and
+ * select the best parameter sets for each gate. The switching
+ * threshold, noise margin, gate delay, and area are all taken into
+ * consideration when we define the utility function."
+ *
+ * This module is that script: a utility function over the DC metrics
+ * (VM centering, noise margin, full swing), the transient gate delay
+ * under fanout-1 load, and active area, maximized with Nelder-Mead
+ * over log-widths. The library's baked-in CellSizing defaults were
+ * produced by this search; tests re-run a coarse search to confirm
+ * the defaults sit near the optimum.
+ */
+
+#ifndef OTFT_CELLS_SIZING_HPP
+#define OTFT_CELLS_SIZING_HPP
+
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+
+namespace otft::cells {
+
+/** Weights of the sizing utility function. All terms normalized. */
+struct UtilityWeights
+{
+    /** Penalty weight for |VM - VDD/2|. */
+    double vmCentering = 3.0;
+    /** Reward weight for min(NMH, NML). */
+    double noiseMargin = 3.0;
+    /** Penalty weight for output swing loss (VDD - VOH) + VOL. */
+    double swing = 4.0;
+    /** Penalty weight for gate delay relative to delayScale. */
+    double delay = 1.0;
+    /** Reference delay for normalization, seconds. */
+    double delayScale = 40e-6;
+    /** Penalty weight for active area relative to areaScale. */
+    double area = 0.5;
+    /** Reference active area for normalization, m^2. */
+    double areaScale = 1.2e-8;
+};
+
+/** One evaluated design point. */
+struct SizingEvaluation
+{
+    CellSizing sizing;
+    VtcResult vtc;
+    /** Average of rising and falling propagation delay, seconds. */
+    double gateDelay = 0.0;
+    /** Active area of the cell, m^2. */
+    double activeArea = 0.0;
+    /** The scalar utility (higher is better). */
+    double utility = 0.0;
+};
+
+/** Search controls. */
+struct SizingSearchConfig
+{
+    UtilityWeights weights = {};
+    /** Objective evaluations budget. */
+    int maxEvals = 120;
+    /** VTC sweep resolution during search (coarse for speed). */
+    std::size_t vtcPoints = 61;
+    /** Transient steps per delay evaluation. */
+    double transientDt = 0.4e-6;
+};
+
+/**
+ * Design-space search for pseudo-E cell sizing at a given supply.
+ */
+class SizingOptimizer
+{
+  public:
+    SizingOptimizer(device::Level61Params device_params,
+                    SupplyConfig supply, SizingSearchConfig config = {})
+        : deviceParams(device_params), supply(supply), config_(config)
+    {}
+
+    /** Evaluate the utility of one sizing (also used by tests). */
+    SizingEvaluation evaluate(const CellSizing &sizing) const;
+
+    /** Run the search from the given starting sizing. */
+    SizingEvaluation optimize(const CellSizing &start) const;
+
+    const SizingSearchConfig &config() const { return config_; }
+
+  private:
+    device::Level61Params deviceParams;
+    SupplyConfig supply;
+    SizingSearchConfig config_;
+};
+
+/**
+ * Transient propagation delay of an inverter driving `fanout` copies
+ * of its own input capacitance: average of rising and falling output
+ * delays for a full-swing input pulse.
+ * @return delay in seconds, or a large penalty value if the output
+ *         never crosses 50%.
+ */
+double measureInverterDelay(const CellFactory &factory, double fanout,
+                            double dt);
+
+} // namespace otft::cells
+
+#endif // OTFT_CELLS_SIZING_HPP

@@ -1,0 +1,385 @@
+#include "cells/topologies.hpp"
+
+#include "device/pentacene.hpp"
+#include "util/logging.hpp"
+
+namespace otft::cells {
+
+const char *
+toString(InverterKind kind)
+{
+    switch (kind) {
+      case InverterKind::DiodeLoad:
+        return "diode-load";
+      case InverterKind::BiasedLoad:
+        return "biased-load";
+      case InverterKind::PseudoE:
+        return "pseudo-E";
+    }
+    return "?";
+}
+
+CellFactory::CellFactory()
+    : CellFactory(device::Level61Params{}, CellSizing{}, SupplyConfig{})
+{
+}
+
+device::TransistorModelPtr
+CellFactory::makeDevice(double w) const
+{
+    device::Geometry g;
+    g.w = w;
+    g.l = sizing_.l;
+    g.ci = device::pentacene::ci;
+    return std::make_shared<device::Level61Model>(
+        device::Polarity::PType, g, deviceParams);
+}
+
+void
+CellFactory::account(BuiltCell &cell, double w) const
+{
+    cell.activeArea += w * sizing_.l;
+    cell.cellArea = cell.activeArea * sizing_.routingFactor;
+    ++cell.transistorCount;
+}
+
+namespace {
+
+/**
+ * Add a FET plus its quasi-static gate capacitances (Ci*W*L split
+ * half to source, half to drain). The DC device model carries no
+ * charge storage, so explicit capacitors provide the switching delays
+ * that transient characterization measures.
+ */
+void
+addFetWithCaps(circuit::Circuit &ckt,
+               const device::TransistorModelPtr &model,
+               circuit::NodeId drain, circuit::NodeId gate,
+               circuit::NodeId source, const std::string &name)
+{
+    const double cg = model->geometry().gateCap();
+    ckt.addFet(model, drain, gate, source, name);
+    ckt.addCapacitor(gate, drain, 0.5 * cg);
+    ckt.addCapacitor(gate, source, 0.5 * cg);
+}
+
+} // namespace
+
+circuit::NodeId
+CellFactory::addPseudoEGate(BuiltCell &cell,
+                            const std::vector<circuit::NodeId> &ins,
+                            bool series, circuit::NodeId vdd_node,
+                            circuit::NodeId vss_node,
+                            const std::string &label) const
+{
+    auto &ckt = cell.ckt;
+    const circuit::NodeId x = ckt.addNode(label + ".x");
+    const circuit::NodeId out = ckt.addNode(label + ".out");
+
+    auto add_pullup_network = [&](circuit::NodeId target,
+                                  const std::string &stage) {
+        if (series) {
+            // NOR-style: transistors in series from VDD to the target.
+            circuit::NodeId prev = vdd_node;
+            for (std::size_t i = 0; i < ins.size(); ++i) {
+                const circuit::NodeId next =
+                    i + 1 == ins.size()
+                        ? target
+                        : ckt.addNode(label + "." + stage + ".n" +
+                                      std::to_string(i));
+                addFetWithCaps(ckt, makeDevice(
+                                   stage == "sh" ? sizing_.wShiftDrive
+                                                 : sizing_.wDrive),
+                               next, ins[i], prev,
+                               label + "." + stage + std::to_string(i));
+                prev = next;
+            }
+        } else {
+            // NAND-style: transistors in parallel from VDD to target.
+            for (std::size_t i = 0; i < ins.size(); ++i) {
+                addFetWithCaps(ckt, makeDevice(
+                                   stage == "sh" ? sizing_.wShiftDrive
+                                                 : sizing_.wDrive),
+                               target, ins[i], vdd_node,
+                               label + "." + stage + std::to_string(i));
+            }
+        }
+        for (std::size_t i = 0; i < ins.size(); ++i)
+            account(cell, stage == "sh" ? sizing_.wShiftDrive
+                                        : sizing_.wDrive);
+    };
+
+    // Level-shifter stage: pull-up network to X, diode load to VSS.
+    add_pullup_network(x, "sh");
+    addFetWithCaps(ckt, makeDevice(sizing_.wShiftLoad), vss_node,
+                   vss_node, x, label + ".shload");
+    account(cell, sizing_.wShiftLoad);
+
+    // Output stage: pull-up network to OUT, load to GND gated by X.
+    add_pullup_network(out, "dr");
+    addFetWithCaps(ckt, makeDevice(sizing_.wLoad), circuit::Circuit::ground,
+                   x, out, label + ".load");
+    account(cell, sizing_.wLoad);
+
+    return out;
+}
+
+BuiltCell
+CellFactory::inverter(InverterKind kind, double load_cap) const
+{
+    BuiltCell cell;
+    cell.supply = supply_;
+    cell.name = std::string("inv_") + toString(kind);
+    auto &ckt = cell.ckt;
+
+    const circuit::NodeId vdd = ckt.addNode("vdd");
+    cell.vddSource = ckt.addVoltageSource(vdd, circuit::Circuit::ground,
+                                          supply_.vdd);
+    const circuit::NodeId in = ckt.addNode("in");
+    cell.inputs.push_back(in);
+    cell.inputSources.push_back(
+        ckt.addVoltageSource(in, circuit::Circuit::ground, 0.0));
+
+    circuit::NodeId vss = circuit::Circuit::ground;
+    if (kind != InverterKind::DiodeLoad) {
+        vss = ckt.addNode("vss");
+        cell.vssSource = ckt.addVoltageSource(
+            vss, circuit::Circuit::ground, supply_.vss);
+    }
+
+    switch (kind) {
+      case InverterKind::DiodeLoad: {
+        const circuit::NodeId out = ckt.addNode("out");
+        addFetWithCaps(ckt, makeDevice(sizing_.wDrive), out, in, vdd,
+                       "drive");
+        account(cell, sizing_.wDrive);
+        // Diode-connected load: gate tied to drain at ground.
+        addFetWithCaps(ckt, makeDevice(sizing_.wLoad),
+                       circuit::Circuit::ground, circuit::Circuit::ground,
+                       out, "load");
+        account(cell, sizing_.wLoad);
+        cell.out = out;
+        break;
+      }
+      case InverterKind::BiasedLoad: {
+        const circuit::NodeId out = ckt.addNode("out");
+        addFetWithCaps(ckt, makeDevice(sizing_.wDrive), out, in, vdd,
+                       "drive");
+        account(cell, sizing_.wDrive);
+        // Load gate tied to the negative bias rail.
+        addFetWithCaps(ckt, makeDevice(sizing_.wLoad),
+                       circuit::Circuit::ground, vss, out, "load");
+        account(cell, sizing_.wLoad);
+        cell.out = out;
+        break;
+      }
+      case InverterKind::PseudoE: {
+        cell.out = addPseudoEGate(cell, {in}, false, vdd, vss, "inv");
+        break;
+      }
+    }
+
+    if (load_cap > 0.0)
+        ckt.addCapacitor(cell.out, circuit::Circuit::ground, load_cap);
+    return cell;
+}
+
+BuiltCell
+CellFactory::nand(int fan_in, double load_cap) const
+{
+    if (fan_in != 2 && fan_in != 3)
+        fatal("CellFactory::nand: fan-in must be 2 or 3, got ", fan_in);
+
+    BuiltCell cell;
+    cell.supply = supply_;
+    cell.name = "nand" + std::to_string(fan_in);
+    auto &ckt = cell.ckt;
+
+    const circuit::NodeId vdd = ckt.addNode("vdd");
+    cell.vddSource = ckt.addVoltageSource(vdd, circuit::Circuit::ground,
+                                          supply_.vdd);
+    const circuit::NodeId vss = ckt.addNode("vss");
+    cell.vssSource =
+        ckt.addVoltageSource(vss, circuit::Circuit::ground, supply_.vss);
+
+    std::vector<circuit::NodeId> ins;
+    for (int i = 0; i < fan_in; ++i) {
+        const circuit::NodeId n =
+            ckt.addNode(std::string(1, static_cast<char>('a' + i)));
+        ins.push_back(n);
+        cell.inputs.push_back(n);
+        cell.inputSources.push_back(
+            ckt.addVoltageSource(n, circuit::Circuit::ground, 0.0));
+    }
+
+    cell.out = addPseudoEGate(cell, ins, false, vdd, vss, cell.name);
+    if (load_cap > 0.0)
+        ckt.addCapacitor(cell.out, circuit::Circuit::ground, load_cap);
+    return cell;
+}
+
+BuiltCell
+CellFactory::nor(int fan_in, double load_cap) const
+{
+    if (fan_in != 2 && fan_in != 3)
+        fatal("CellFactory::nor: fan-in must be 2 or 3, got ", fan_in);
+
+    BuiltCell cell;
+    cell.supply = supply_;
+    cell.name = "nor" + std::to_string(fan_in);
+    auto &ckt = cell.ckt;
+
+    const circuit::NodeId vdd = ckt.addNode("vdd");
+    cell.vddSource = ckt.addVoltageSource(vdd, circuit::Circuit::ground,
+                                          supply_.vdd);
+    const circuit::NodeId vss = ckt.addNode("vss");
+    cell.vssSource =
+        ckt.addVoltageSource(vss, circuit::Circuit::ground, supply_.vss);
+
+    std::vector<circuit::NodeId> ins;
+    for (int i = 0; i < fan_in; ++i) {
+        const circuit::NodeId n =
+            ckt.addNode(std::string(1, static_cast<char>('a' + i)));
+        ins.push_back(n);
+        cell.inputs.push_back(n);
+        cell.inputSources.push_back(
+            ckt.addVoltageSource(n, circuit::Circuit::ground, 0.0));
+    }
+
+    cell.out = addPseudoEGate(cell, ins, true, vdd, vss, cell.name);
+    if (load_cap > 0.0)
+        ckt.addCapacitor(cell.out, circuit::Circuit::ground, load_cap);
+    return cell;
+}
+
+BuiltCell
+CellFactory::dff(double load_cap) const
+{
+    BuiltCell cell;
+    cell.supply = supply_;
+    cell.name = "dff";
+    auto &ckt = cell.ckt;
+
+    const circuit::NodeId vdd = ckt.addNode("vdd");
+    cell.vddSource = ckt.addVoltageSource(vdd, circuit::Circuit::ground,
+                                          supply_.vdd);
+    const circuit::NodeId vss = ckt.addNode("vss");
+    cell.vssSource =
+        ckt.addVoltageSource(vss, circuit::Circuit::ground, supply_.vss);
+
+    // Pins: D, CK, PREbar, CLRbar.
+    std::vector<circuit::NodeId> pins;
+    for (const char *pin : {"d", "ck", "preb", "clrb"}) {
+        const circuit::NodeId n = ckt.addNode(pin);
+        pins.push_back(n);
+        cell.inputs.push_back(n);
+        cell.inputSources.push_back(
+            ckt.addVoltageSource(n, circuit::Circuit::ground, 0.0));
+    }
+    const circuit::NodeId d = pins[0], ck = pins[1], preb = pins[2],
+                          clrb = pins[3];
+
+    // Classic 7474 six-NAND positive-edge DFF with async preset/clear.
+    // The cross-coupled gates require forward references, so the gate
+    // output nodes cannot be created by addPseudoEGate; instead we
+    // build each gate onto pre-created output nodes via a small local
+    // variant that wires the output stage to an existing node.
+    auto add_gate_to = [&](const std::vector<circuit::NodeId> &ins,
+                           circuit::NodeId out, const std::string &label) {
+        const circuit::NodeId x = ckt.addNode(label + ".x");
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+            addFetWithCaps(ckt, makeDevice(sizing_.wShiftDrive), x,
+                           ins[i], vdd, label + ".sh" + std::to_string(i));
+            account(cell, sizing_.wShiftDrive);
+            addFetWithCaps(ckt, makeDevice(sizing_.wDrive), out, ins[i],
+                           vdd, label + ".dr" + std::to_string(i));
+            account(cell, sizing_.wDrive);
+        }
+        addFetWithCaps(ckt, makeDevice(sizing_.wShiftLoad), vss, vss, x,
+                       label + ".shload");
+        account(cell, sizing_.wShiftLoad);
+        addFetWithCaps(ckt, makeDevice(sizing_.wLoad),
+                       circuit::Circuit::ground, x, out, label + ".load");
+        account(cell, sizing_.wLoad);
+    };
+
+    const circuit::NodeId n1 = ckt.addNode("n1");
+    const circuit::NodeId n2 = ckt.addNode("n2");
+    const circuit::NodeId n3 = ckt.addNode("n3");
+    const circuit::NodeId n4 = ckt.addNode("n4");
+    const circuit::NodeId q = ckt.addNode("q");
+    const circuit::NodeId qb = ckt.addNode("qb");
+
+    add_gate_to({preb, n4, n2}, n1, "g1");
+    add_gate_to({n1, clrb, ck}, n2, "g2");
+    add_gate_to({n2, ck, n4}, n3, "g3");
+    add_gate_to({n3, clrb, d}, n4, "g4");
+    add_gate_to({preb, n2, qb}, q, "g5");
+    add_gate_to({q, n3, clrb}, qb, "g6");
+
+    cell.out = q;
+    cell.outBar = qb;
+    if (load_cap > 0.0) {
+        ckt.addCapacitor(q, circuit::Circuit::ground, load_cap);
+        ckt.addCapacitor(qb, circuit::Circuit::ground, load_cap);
+    }
+    return cell;
+}
+
+BuiltCell
+CellFactory::dynamicGate(int fan_in, double load_cap) const
+{
+    if (fan_in < 1 || fan_in > 3)
+        fatal("CellFactory::dynamicGate: fan-in must be 1..3, got ",
+              fan_in);
+
+    BuiltCell cell;
+    cell.supply = supply_;
+    cell.name = "dyn" + std::to_string(fan_in);
+    auto &ckt = cell.ckt;
+
+    const circuit::NodeId vdd = ckt.addNode("vdd");
+    cell.vddSource = ckt.addVoltageSource(vdd, circuit::Circuit::ground,
+                                          supply_.vdd);
+
+    const circuit::NodeId out = ckt.addNode("out");
+
+    // Evaluate network: parallel drive devices, VDD -> OUT.
+    for (int i = 0; i < fan_in; ++i) {
+        const circuit::NodeId in =
+            ckt.addNode(std::string(1, static_cast<char>('a' + i)));
+        cell.inputs.push_back(in);
+        cell.inputSources.push_back(ckt.addVoltageSource(
+            in, circuit::Circuit::ground, supply_.vdd));
+        addFetWithCaps(ckt, makeDevice(sizing_.wDrive), out, in, vdd,
+                       "eval" + std::to_string(i));
+        account(cell, sizing_.wDrive);
+    }
+
+    // Clocked precharge device: discharges OUT to ground when the
+    // clock swings below ground.
+    const circuit::NodeId clk = ckt.addNode("clkb");
+    cell.inputs.push_back(clk);
+    cell.inputSources.push_back(
+        ckt.addVoltageSource(clk, circuit::Circuit::ground,
+                             supply_.vdd));
+    addFetWithCaps(ckt, makeDevice(sizing_.wLoad),
+                   circuit::Circuit::ground, clk, out, "precharge");
+    account(cell, sizing_.wLoad);
+
+    cell.out = out;
+    if (load_cap > 0.0)
+        ckt.addCapacitor(out, circuit::Circuit::ground, load_cap);
+    return cell;
+}
+
+double
+CellFactory::inputCap() const
+{
+    // A pseudo-E input pin drives one shifter gate and one output-stage
+    // gate.
+    return (sizing_.wShiftDrive + sizing_.wDrive) * sizing_.l *
+           device::pentacene::ci;
+}
+
+} // namespace otft::cells

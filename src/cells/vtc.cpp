@@ -1,0 +1,173 @@
+#include "cells/vtc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace otft::cells {
+
+namespace {
+
+/**
+ * Maximum-equal-criterion noise margins: the side of the largest
+ * square inscribed in each lobe between the VTC f and its mirror
+ * f^-1 (reflection about VOUT = VIN). Assumes a monotonically
+ * decreasing VTC, which all cells in this library have.
+ */
+void
+mecNoiseMargins(const std::vector<double> &vin,
+                const std::vector<double> &vout, double vm, double &nmh,
+                double &nml)
+{
+    // f(x): the VTC. f_inv(y): input producing output y.
+    auto f = [&](double x) { return interpolate(vin, vout, x); };
+
+    // Build the inverse from the (decreasing) vout samples.
+    std::vector<double> y_asc(vout.rbegin(), vout.rend());
+    std::vector<double> x_of_y(vin.rbegin(), vin.rend());
+    auto f_inv = [&](double y) { return interpolate(y_asc, x_of_y, y); };
+
+    const double lo = vin.front();
+    const double hi = vin.back();
+    const double span = hi - lo;
+
+    // High lobe (x < vm): upper curve f, lower curve f_inv. A square
+    // anchored at (x, f_inv(x)) with side s fits iff
+    // f_inv(x) + s <= f(x + s).
+    auto max_side_high = [&](double x) {
+        double s_lo = 0.0, s_hi = span;
+        for (int it = 0; it < 40; ++it) {
+            const double s = 0.5 * (s_lo + s_hi);
+            if (f_inv(x) + s <= f(x + s))
+                s_lo = s;
+            else
+                s_hi = s;
+        }
+        return s_lo;
+    };
+    // Low lobe (x > vm): upper curve f_inv, lower curve f. A square
+    // anchored at (x, f(x)) with side s fits iff f(x) + s <= f_inv(x+s).
+    auto max_side_low = [&](double x) {
+        double s_lo = 0.0, s_hi = span;
+        for (int it = 0; it < 40; ++it) {
+            const double s = 0.5 * (s_lo + s_hi);
+            if (f(x) + s <= f_inv(x + s))
+                s_lo = s;
+            else
+                s_hi = s;
+        }
+        return s_lo;
+    };
+
+    nmh = 0.0;
+    nml = 0.0;
+    const int anchors = 200;
+    for (int i = 0; i < anchors; ++i) {
+        const double x =
+            lo + span * static_cast<double>(i) / (anchors - 1);
+        if (x < vm)
+            nmh = std::max(nmh, max_side_high(x));
+        else
+            nml = std::max(nml, max_side_low(x));
+    }
+}
+
+/** Classical gain = -1 criterion noise margins. */
+void
+gainNoiseMargins(const std::vector<double> &vin,
+                 const std::vector<double> &vout, double &nmh,
+                 double &nml)
+{
+    const auto g = gradient(vin, vout);
+    // Find first and last crossings of gain through -1.
+    double vil = -1.0, vih = -1.0;
+    for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+        const bool crosses = (g[i] > -1.0 && g[i + 1] <= -1.0) ||
+                             (g[i] <= -1.0 && g[i + 1] > -1.0);
+        if (!crosses)
+            continue;
+        const double t = (g[i] + 1.0) / (g[i] - g[i + 1]);
+        const double x = vin[i] + t * (vin[i + 1] - vin[i]);
+        if (vil < 0.0)
+            vil = x;
+        else
+            vih = x;
+    }
+    if (vil < 0.0) {
+        // Gain never reaches -1: no regenerative region at all.
+        nmh = 0.0;
+        nml = 0.0;
+        return;
+    }
+    if (vih < 0.0)
+        vih = vil;
+    const double voh_prime = interpolate(vin, vout, vil);
+    const double vol_prime = interpolate(vin, vout, vih);
+    nmh = voh_prime - vih;
+    nml = vil - vol_prime;
+    nmh = std::max(nmh, 0.0);
+    nml = std::max(nml, 0.0);
+}
+
+} // namespace
+
+VtcResult
+VtcAnalyzer::analyze(BuiltCell &cell, double other_inputs) const
+{
+    if (points < 32)
+        fatal("VtcAnalyzer: needs >= 32 sweep points");
+    if (cell.inputs.empty())
+        fatal("VtcAnalyzer: cell has no inputs");
+
+    // Hold secondary inputs at the sensitizing level.
+    for (std::size_t i = 1; i < cell.inputSources.size(); ++i)
+        cell.ckt.setSourceWave(cell.inputSources[i],
+                               circuit::Pwl::constant(other_inputs));
+
+    circuit::DcAnalysis dc(cell.ckt);
+    const auto sweep = dc.sweepSource(
+        cell.inputSources[0], linspace(0.0, cell.supply.vdd, points));
+
+    VtcResult r;
+    r.vin = sweep.values;
+    r.vout.reserve(points);
+    r.idd.reserve(points);
+    for (const auto &sol : sweep.solutions) {
+        r.vout.push_back(dc.nodeVoltage(sol, cell.out));
+        r.idd.push_back(std::abs(dc.sourceCurrent(sol, cell.vddSource)));
+    }
+
+    r.voh = r.vout.front();
+    r.vol = r.vout.back();
+
+    const auto vm_crossings = findCrossings(
+        r.vin,
+        [&] {
+            std::vector<double> diff(points);
+            for (std::size_t i = 0; i < points; ++i)
+                diff[i] = r.vout[i] - r.vin[i];
+            return diff;
+        }(),
+        0.0);
+    r.vm = vm_crossings.empty() ? 0.0 : vm_crossings.front();
+
+    const auto g = gradient(r.vin, r.vout);
+    for (double v : g)
+        r.maxGain = std::max(r.maxGain, std::abs(v));
+
+    mecNoiseMargins(r.vin, r.vout, r.vm, r.nmh, r.nml);
+    gainNoiseMargins(r.vin, r.vout, r.nmhGain, r.nmlGain);
+
+    // Static power at the two input levels: total power delivered by
+    // the supply rails (the input source drives only gates and draws
+    // no DC current in this technology model).
+    r.staticPowerLow = dc.totalSourcePower(sweep.solutions.front());
+    r.staticPowerHigh = dc.totalSourcePower(sweep.solutions.back());
+
+    return r;
+}
+
+} // namespace otft::cells

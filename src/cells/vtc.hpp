@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static (VTC) analysis of inverting cells: switching threshold by
+ * the mirror-intersection method, maximum small-signal gain, noise
+ * margins by the maximum-equal-criterion (Hauser 1993) with the
+ * classical gain = -1 criterion as a cross-check, and static power at
+ * both input levels — the DC parameter set of the paper's Figs. 6-8.
+ */
+
+#ifndef OTFT_CELLS_VTC_HPP
+#define OTFT_CELLS_VTC_HPP
+
+#include <vector>
+
+#include "cells/topologies.hpp"
+
+namespace otft::cells {
+
+/** DC characterization of one inverting cell. */
+struct VtcResult
+{
+    /** Input sweep, volts. */
+    std::vector<double> vin;
+    /** Output voltage per sweep point, volts. */
+    std::vector<double> vout;
+    /** VDD supply current per sweep point, amperes. */
+    std::vector<double> idd;
+
+    /** Switching threshold (VTC mirror intersection VOUT = VIN). */
+    double vm = 0.0;
+    /** Maximum |dVOUT/dVIN|. */
+    double maxGain = 0.0;
+    /** Output high level (VOUT at VIN = 0). */
+    double voh = 0.0;
+    /** Output low level (VOUT at VIN = VDD). */
+    double vol = 0.0;
+    /** Noise margins from the maximum equal criterion, volts. */
+    double nmh = 0.0;
+    double nml = 0.0;
+    /** Noise margins from the gain = -1 criterion, volts. */
+    double nmhGain = 0.0;
+    double nmlGain = 0.0;
+    /** Static power with input low (VIN = 0), watts. */
+    double staticPowerLow = 0.0;
+    /** Static power with input high (VIN = VDD), watts. */
+    double staticPowerHigh = 0.0;
+};
+
+/** Sweeps and characterizes inverting cells. */
+class VtcAnalyzer
+{
+  public:
+    /** @param points sweep resolution (>= 32). */
+    explicit VtcAnalyzer(std::size_t points = 151) : points(points) {}
+
+    /**
+     * Sweep the first input of the cell from 0 to VDD with any other
+     * inputs held at the given level (volts; pass the VDD value to
+     * sensitize a NAND input, 0 for a NOR input) and extract all DC
+     * parameters.
+     */
+    VtcResult analyze(BuiltCell &cell, double other_inputs = 0.0) const;
+
+  private:
+    std::size_t points;
+};
+
+} // namespace otft::cells
+
+#endif // OTFT_CELLS_VTC_HPP

@@ -1,0 +1,97 @@
+#include "circuit/circuit.hpp"
+
+#include "util/logging.hpp"
+
+namespace otft::circuit {
+
+Circuit::Circuit()
+{
+    nodeNames.push_back("gnd");
+}
+
+NodeId
+Circuit::addNode(const std::string &name)
+{
+    nodeNames.push_back(name);
+    return static_cast<NodeId>(nodeNames.size() - 1);
+}
+
+void
+Circuit::checkNode(NodeId node) const
+{
+    if (node < 0 || static_cast<std::size_t>(node) >= nodeNames.size())
+        fatal("Circuit: invalid node id ", node);
+}
+
+void
+Circuit::addResistor(NodeId a, NodeId b, double ohms)
+{
+    checkNode(a);
+    checkNode(b);
+    if (ohms <= 0.0)
+        fatal("Circuit: resistor must have positive resistance");
+    resistors_.push_back({a, b, ohms});
+}
+
+void
+Circuit::addCapacitor(NodeId a, NodeId b, double farads)
+{
+    checkNode(a);
+    checkNode(b);
+    if (farads < 0.0)
+        fatal("Circuit: capacitor must have non-negative capacitance");
+    capacitors_.push_back({a, b, farads});
+}
+
+SourceId
+Circuit::addVoltageSource(NodeId pos, NodeId neg, Pwl wave)
+{
+    checkNode(pos);
+    checkNode(neg);
+    vsources_.push_back({pos, neg, std::move(wave)});
+    return static_cast<SourceId>(vsources_.size() - 1);
+}
+
+SourceId
+Circuit::addVoltageSource(NodeId pos, NodeId neg, double volts)
+{
+    return addVoltageSource(pos, neg, Pwl::constant(volts));
+}
+
+void
+Circuit::addCurrentSource(NodeId pos, NodeId neg, double amps)
+{
+    checkNode(pos);
+    checkNode(neg);
+    isources_.push_back({pos, neg, amps});
+}
+
+void
+Circuit::addFet(device::TransistorModelPtr model, NodeId drain,
+                NodeId gate, NodeId source, std::string name)
+{
+    checkNode(drain);
+    checkNode(gate);
+    checkNode(source);
+    if (!model)
+        fatal("Circuit: FET requires a device model");
+    fets_.push_back({std::move(model), drain, gate, source,
+                     std::move(name)});
+}
+
+void
+Circuit::setSourceWave(SourceId id, Pwl wave)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= vsources_.size())
+        fatal("Circuit: invalid voltage source id ", id);
+    vsources_[static_cast<std::size_t>(id)].wave = std::move(wave);
+}
+
+const std::string &
+Circuit::nodeName(NodeId node) const
+{
+    checkNode(node);
+    return nodeNames[static_cast<std::size_t>(node)];
+}
+
+} // namespace otft::circuit

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Circuit netlist for the SPICE-like simulator.
+ *
+ * A circuit is a set of named nodes connected by linear elements
+ * (resistors, capacitors, independent sources) and nonlinear
+ * transistors evaluated through device::TransistorModel. Node 0 is
+ * ground. Voltage sources carry a branch-current unknown (modified
+ * nodal analysis).
+ */
+
+#ifndef OTFT_CIRCUIT_CIRCUIT_HPP
+#define OTFT_CIRCUIT_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/waveform.hpp"
+#include "device/transistor_model.hpp"
+
+namespace otft::circuit {
+
+/** Node handle; 0 is ground. */
+using NodeId = int;
+
+/** Handle to a voltage source (for current readback / waveform edit). */
+using SourceId = int;
+
+/** A two-terminal resistor. */
+struct Resistor
+{
+    NodeId a = 0;
+    NodeId b = 0;
+    double resistance = 0.0;
+};
+
+/** A two-terminal capacitor. */
+struct Capacitor
+{
+    NodeId a = 0;
+    NodeId b = 0;
+    double capacitance = 0.0;
+};
+
+/** An independent voltage source with a time-domain waveform. */
+struct VoltageSource
+{
+    NodeId pos = 0;
+    NodeId neg = 0;
+    Pwl wave = Pwl::constant(0.0);
+};
+
+/** An independent DC current source (flows pos -> neg externally). */
+struct CurrentSource
+{
+    NodeId pos = 0;
+    NodeId neg = 0;
+    double current = 0.0;
+};
+
+/** A FET instance bound to a device model. */
+struct Fet
+{
+    device::TransistorModelPtr model;
+    NodeId drain = 0;
+    NodeId gate = 0;
+    NodeId source = 0;
+    std::string name;
+};
+
+/** The netlist. */
+class Circuit
+{
+  public:
+    Circuit();
+
+    /** Create a named node. Names are for diagnostics only. */
+    NodeId addNode(const std::string &name);
+
+    /** The ground node. */
+    static constexpr NodeId ground = 0;
+
+    void addResistor(NodeId a, NodeId b, double ohms);
+    void addCapacitor(NodeId a, NodeId b, double farads);
+    SourceId addVoltageSource(NodeId pos, NodeId neg, Pwl wave);
+    SourceId addVoltageSource(NodeId pos, NodeId neg, double volts);
+    void addCurrentSource(NodeId pos, NodeId neg, double amps);
+    void addFet(device::TransistorModelPtr model, NodeId drain,
+                NodeId gate, NodeId source, std::string name = "");
+
+    /** Replace the waveform of an existing voltage source. */
+    void setSourceWave(SourceId id, Pwl wave);
+
+    /** Number of nodes including ground. */
+    std::size_t numNodes() const { return nodeNames.size(); }
+
+    /** Name of a node (diagnostics). */
+    const std::string &nodeName(NodeId node) const;
+
+    const std::vector<Resistor> &resistors() const { return resistors_; }
+    const std::vector<Capacitor> &capacitors() const { return capacitors_; }
+    const std::vector<VoltageSource> &
+    voltageSources() const
+    {
+        return vsources_;
+    }
+    const std::vector<CurrentSource> &
+    currentSources() const
+    {
+        return isources_;
+    }
+    const std::vector<Fet> &fets() const { return fets_; }
+
+  private:
+    void checkNode(NodeId node) const;
+
+    std::vector<std::string> nodeNames;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<VoltageSource> vsources_;
+    std::vector<CurrentSource> isources_;
+    std::vector<Fet> fets_;
+};
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_CIRCUIT_HPP

@@ -1,0 +1,60 @@
+#include "circuit/linear_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otft::circuit {
+
+bool
+solveLinear(Matrix &a, std::vector<double> &b)
+{
+    const std::size_t n = a.size();
+    if (b.size() != n)
+        return false;
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below row k.
+        std::size_t pivot = k;
+        double best = std::abs(a.at(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double v = std::abs(a.at(r, k));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-30)
+            return false;
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a.at(k, c), a.at(pivot, c));
+            std::swap(b[k], b[pivot]);
+        }
+
+        const double inv = 1.0 / a.at(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = a.at(r, k) * inv;
+            if (factor == 0.0)
+                continue;
+            a.at(r, k) = 0.0;
+            for (std::size_t c = k + 1; c < n; ++c)
+                a.at(r, c) -= factor * a.at(k, c);
+            b[r] -= factor * b[k];
+        }
+    }
+
+    // Back substitution.
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            s -= a.at(i, c) * b[c];
+        b[i] = s / a.at(i, i);
+    }
+    return true;
+}
+
+} // namespace otft::circuit

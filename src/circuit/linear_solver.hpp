@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dense linear solver for the circuit simulator.
+ *
+ * Standard-cell circuits have at most a few dozen nodes, so a dense
+ * LU factorization with partial pivoting is both simpler and faster
+ * than a sparse solver at this scale.
+ */
+
+#ifndef OTFT_CIRCUIT_LINEAR_SOLVER_HPP
+#define OTFT_CIRCUIT_LINEAR_SOLVER_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace otft::circuit {
+
+/** Dense row-major square matrix. */
+class Matrix
+{
+  public:
+    explicit Matrix(std::size_t n = 0) : n(n), data(n * n, 0.0) {}
+
+    double &at(std::size_t r, std::size_t c) { return data[r * n + c]; }
+    double at(std::size_t r, std::size_t c) const { return data[r * n + c]; }
+
+    std::size_t size() const { return n; }
+
+    /** Reset all entries to zero without reallocating. */
+    void clear() { std::fill(data.begin(), data.end(), 0.0); }
+
+  private:
+    std::size_t n;
+    std::vector<double> data;
+};
+
+/**
+ * Solve A x = b in place via LU with partial pivoting.
+ * @param a coefficient matrix; destroyed by the factorization
+ * @param b right-hand side; replaced with the solution
+ * @return false if the matrix is numerically singular
+ */
+bool solveLinear(Matrix &a, std::vector<double> &b);
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_LINEAR_SOLVER_HPP

@@ -1,0 +1,184 @@
+#include "circuit/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace otft::circuit {
+
+Mna::Mna(const Circuit &circuit, NewtonConfig config)
+    : ckt(circuit), cfg(config),
+      numNodeUnknowns(circuit.numNodes() - 1),
+      unknowns(numNodeUnknowns + circuit.voltageSources().size())
+{
+}
+
+double
+Mna::nodeVoltage(const Solution &x, NodeId node) const
+{
+    if (node == Circuit::ground)
+        return 0.0;
+    const int idx = nodeIndex(node);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= numNodeUnknowns)
+        fatal("Mna::nodeVoltage: bad node ", node);
+    return x[static_cast<std::size_t>(idx)];
+}
+
+double
+Mna::sourceCurrent(const Solution &x, SourceId source) const
+{
+    const std::size_t k = static_cast<std::size_t>(source);
+    if (k >= ckt.voltageSources().size())
+        fatal("Mna::sourceCurrent: bad source ", source);
+    return x[numNodeUnknowns + k];
+}
+
+void
+Mna::assemble(const Solution &x, double time, double source_scale,
+              double dt, const Solution *x_prev, Matrix &jac,
+              std::vector<double> &residual) const
+{
+    jac.clear();
+    std::fill(residual.begin(), residual.end(), 0.0);
+
+    auto volt = [&](NodeId n) { return nodeVoltage(x, n); };
+
+    // Stamp a conductance between two nodes into Jacobian + residual.
+    auto stamp_g = [&](NodeId a, NodeId b, double g, double i_extra_a) {
+        const double v = volt(a) - volt(b);
+        const double i = g * v + i_extra_a;
+        const int ia = nodeIndex(a), ib = nodeIndex(b);
+        if (ia >= 0) {
+            residual[static_cast<std::size_t>(ia)] += i;
+            jac.at(ia, ia) += g;
+            if (ib >= 0)
+                jac.at(ia, ib) -= g;
+        }
+        if (ib >= 0) {
+            residual[static_cast<std::size_t>(ib)] -= i;
+            jac.at(ib, ib) += g;
+            if (ia >= 0)
+                jac.at(ib, ia) -= g;
+        }
+    };
+
+    // gmin from every non-ground node to ground.
+    for (std::size_t n = 0; n < numNodeUnknowns; ++n) {
+        jac.at(n, n) += cfg.gmin;
+        residual[n] += cfg.gmin * x[n];
+    }
+
+    for (const auto &r : ckt.resistors())
+        stamp_g(r.a, r.b, 1.0 / r.resistance, 0.0);
+
+    if (dt > 0.0) {
+        // Backward-Euler companion: i = (C/dt) * (v - v_prev).
+        if (x_prev == nullptr)
+            panic("Mna::assemble: transient step without previous state");
+        for (const auto &c : ckt.capacitors()) {
+            const double g = c.capacitance / dt;
+            const double vp = nodeVoltage(*x_prev, c.a) -
+                              nodeVoltage(*x_prev, c.b);
+            stamp_g(c.a, c.b, g, -g * vp);
+        }
+    }
+
+    for (const auto &s : ckt.currentSources()) {
+        const double i = s.current * source_scale;
+        const int ip = nodeIndex(s.pos), in = nodeIndex(s.neg);
+        // Source pushes current out of `pos` into the circuit.
+        if (ip >= 0)
+            residual[static_cast<std::size_t>(ip)] -= i;
+        if (in >= 0)
+            residual[static_cast<std::size_t>(in)] += i;
+    }
+
+    const auto &vsources = ckt.voltageSources();
+    for (std::size_t k = 0; k < vsources.size(); ++k) {
+        const auto &s = vsources[k];
+        const std::size_t row = numNodeUnknowns + k;
+        const double i_branch = x[row];
+        const int ip = nodeIndex(s.pos), in = nodeIndex(s.neg);
+        // Branch current leaves the source at `pos`.
+        if (ip >= 0) {
+            residual[static_cast<std::size_t>(ip)] -= i_branch;
+            jac.at(ip, row) -= 1.0;
+            jac.at(row, ip) += 1.0;
+        }
+        if (in >= 0) {
+            residual[static_cast<std::size_t>(in)] += i_branch;
+            jac.at(in, row) += 1.0;
+            jac.at(row, in) -= 1.0;
+        }
+        residual[row] =
+            volt(s.pos) - volt(s.neg) - s.wave.at(time) * source_scale;
+    }
+
+    for (const auto &fet : ckt.fets()) {
+        const double vgs = volt(fet.gate) - volt(fet.source);
+        const double vds = volt(fet.drain) - volt(fet.source);
+        const double id = fet.model->drainCurrent(vgs, vds);
+        const double gm = fet.model->gm(vgs, vds);
+        const double gds = fet.model->gds(vgs, vds);
+
+        const int idx_d = nodeIndex(fet.drain);
+        const int idx_g = nodeIndex(fet.gate);
+        const int idx_s = nodeIndex(fet.source);
+
+        // Current id flows into the drain terminal and out of the
+        // source terminal.
+        if (idx_d >= 0) {
+            residual[static_cast<std::size_t>(idx_d)] += id;
+            jac.at(idx_d, idx_d) += gds;
+            if (idx_g >= 0)
+                jac.at(idx_d, idx_g) += gm;
+            if (idx_s >= 0)
+                jac.at(idx_d, idx_s) -= gm + gds;
+        }
+        if (idx_s >= 0) {
+            residual[static_cast<std::size_t>(idx_s)] -= id;
+            jac.at(idx_s, idx_s) += gm + gds;
+            if (idx_g >= 0)
+                jac.at(idx_s, idx_g) -= gm;
+            if (idx_d >= 0)
+                jac.at(idx_s, idx_d) -= gds;
+        }
+    }
+}
+
+bool
+Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
+                 const Solution *x_prev) const
+{
+    if (x.size() != unknowns)
+        fatal("Mna::solveNewton: bad solution vector size");
+
+    Matrix jac(unknowns);
+    std::vector<double> residual(unknowns, 0.0);
+
+    for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+        assemble(x, time, source_scale, dt, x_prev, jac, residual);
+
+        // Solve J * delta = residual; update is x -= delta.
+        std::vector<double> delta = residual;
+        if (!solveLinear(jac, delta))
+            return false;
+
+        double max_update = 0.0;
+        for (std::size_t i = 0; i < unknowns; ++i) {
+            double step = delta[i];
+            // Clamp only voltage unknowns; branch currents may jump.
+            if (i < numNodeUnknowns)
+                step = std::clamp(step, -cfg.maxStep, cfg.maxStep);
+            x[i] -= step;
+            if (i < numNodeUnknowns)
+                max_update = std::max(max_update, std::abs(step));
+        }
+        if (max_update < cfg.tolerance)
+            return true;
+    }
+    return false;
+}
+
+} // namespace otft::circuit

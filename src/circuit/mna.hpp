@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Modified nodal analysis core shared by the DC and transient engines.
+ *
+ * Unknown vector layout: node voltages for nodes 1..N-1 (ground is
+ * eliminated) followed by one branch current per voltage source. The
+ * nonlinear system F(x) = 0 collects KCL residuals at each node plus
+ * the source branch equations; Newton-Raphson with per-component step
+ * limiting and a small gmin-to-ground conductance solves it.
+ */
+
+#ifndef OTFT_CIRCUIT_MNA_HPP
+#define OTFT_CIRCUIT_MNA_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/linear_solver.hpp"
+
+namespace otft::circuit {
+
+/** Newton-Raphson controls. */
+struct NewtonConfig
+{
+    /** Leak conductance from every node to ground, siemens. */
+    double gmin = 1e-12;
+    /** Maximum Newton iterations per solve. */
+    int maxIterations = 300;
+    /** Convergence threshold on the max voltage update, volts. */
+    double tolerance = 1e-7;
+    /** Per-component update clamp, volts (damping). */
+    double maxStep = 2.0;
+};
+
+/** A solution vector (node voltages + source branch currents). */
+using Solution = std::vector<double>;
+
+/** The assembled MNA problem for one circuit. */
+class Mna
+{
+  public:
+    explicit Mna(const Circuit &circuit, NewtonConfig config = {});
+
+    /** Number of unknowns (nodes - 1 + voltage sources). */
+    std::size_t numUnknowns() const { return unknowns; }
+
+    /** A zero-initialized solution vector. */
+    Solution zeroSolution() const { return Solution(unknowns, 0.0); }
+
+    /**
+     * Run Newton-Raphson to convergence.
+     * @param x in: initial guess; out: solution on success
+     * @param time waveform evaluation time for sources
+     * @param source_scale multiplier on all independent sources
+     *        (used by source-stepping homotopy)
+     * @param dt backward-Euler step; <= 0 disables capacitor stamps
+     *        (DC analysis)
+     * @param x_prev previous-timestep solution for companion models;
+     *        required when dt > 0
+     * @return true on convergence
+     */
+    bool solveNewton(Solution &x, double time, double source_scale,
+                     double dt, const Solution *x_prev) const;
+
+    /** Voltage of a node in a solution. */
+    double nodeVoltage(const Solution &x, NodeId node) const;
+
+    /**
+     * Branch current of a voltage source (flows from the positive
+     * terminal through the source to the negative terminal externally,
+     * i.e. the current delivered into the circuit at `pos`).
+     */
+    double sourceCurrent(const Solution &x, SourceId source) const;
+
+    const Circuit &circuit() const { return ckt; }
+    const NewtonConfig &config() const { return cfg; }
+
+  private:
+    /** Row/column index of a node, or -1 for ground. */
+    int nodeIndex(NodeId node) const { return node - 1; }
+
+    /** Assemble Jacobian and residual at the current iterate. */
+    void assemble(const Solution &x, double time, double source_scale,
+                  double dt, const Solution *x_prev, Matrix &jac,
+                  std::vector<double> &residual) const;
+
+    const Circuit &ckt;
+    NewtonConfig cfg;
+    std::size_t numNodeUnknowns;
+    std::size_t unknowns;
+};
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_MNA_HPP

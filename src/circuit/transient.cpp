@@ -1,0 +1,124 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace otft::circuit {
+
+TransientResult::TransientResult(std::vector<double> time,
+                                 std::vector<std::vector<double>> node_v,
+                                 std::vector<std::vector<double>> source_i)
+    : time_(std::move(time)), nodeV(std::move(node_v)),
+      sourceI(std::move(source_i))
+{
+}
+
+Trace
+TransientResult::node(NodeId node) const
+{
+    if (node < 0 || static_cast<std::size_t>(node) >= nodeV.size())
+        fatal("TransientResult::node: bad node ", node);
+    return {time_, nodeV[static_cast<std::size_t>(node)]};
+}
+
+Trace
+TransientResult::source(SourceId source) const
+{
+    if (source < 0 ||
+        static_cast<std::size_t>(source) >= sourceI.size())
+        fatal("TransientResult::source: bad source ", source);
+    return {time_, sourceI[static_cast<std::size_t>(source)]};
+}
+
+double
+TransientResult::sourceEnergy(SourceId source, double v_value, double t0,
+                              double t1) const
+{
+    const Trace i = this->source(source);
+    double energy = 0.0;
+    for (std::size_t k = 0; k + 1 < time_.size(); ++k) {
+        const double ta = std::clamp(time_[k], t0, t1);
+        const double tb = std::clamp(time_[k + 1], t0, t1);
+        if (tb <= ta)
+            continue;
+        const double p_a = v_value * i.value[k];
+        const double p_b = v_value * i.value[k + 1];
+        energy += 0.5 * (p_a + p_b) * (tb - ta);
+    }
+    return energy;
+}
+
+TransientAnalysis::TransientAnalysis(Circuit &circuit)
+    : ckt(circuit)
+{
+}
+
+TransientResult
+TransientAnalysis::run(const TransientConfig &config) const
+{
+    if (config.tStop <= 0.0 || config.dt <= 0.0)
+        fatal("TransientAnalysis: tStop and dt must be positive");
+
+    Mna mna(ckt, config.newton);
+
+    // Build the time grid: uniform steps plus waveform breakpoints.
+    std::set<double> grid;
+    const std::size_t n_steps =
+        static_cast<std::size_t>(std::ceil(config.tStop / config.dt));
+    for (std::size_t k = 0; k <= n_steps; ++k)
+        grid.insert(std::min(config.dt * static_cast<double>(k),
+                             config.tStop));
+    for (const auto &s : ckt.voltageSources())
+        for (double t : s.wave.breakpoints())
+            if (t > 0.0 && t < config.tStop)
+                grid.insert(t);
+    std::vector<double> times(grid.begin(), grid.end());
+
+    const std::size_t n_nodes = ckt.numNodes();
+    const std::size_t n_sources = ckt.voltageSources().size();
+    std::vector<std::vector<double>> node_v(n_nodes);
+    std::vector<std::vector<double>> source_i(n_sources);
+
+    // Initial condition: DC operating point with sources at t = 0.
+    DcAnalysis dc(ckt, config.newton);
+    Solution x = dc.operatingPoint();
+
+    auto record = [&](const Solution &sol) {
+        for (std::size_t n = 0; n < n_nodes; ++n)
+            node_v[n].push_back(
+                mna.nodeVoltage(sol, static_cast<NodeId>(n)));
+        for (std::size_t s = 0; s < n_sources; ++s)
+            source_i[s].push_back(
+                mna.sourceCurrent(sol, static_cast<SourceId>(s)));
+    };
+    record(x);
+
+    for (std::size_t k = 1; k < times.size(); ++k) {
+        const double t = times[k];
+        const double h = t - times[k - 1];
+        Solution x_next = x;
+        if (!mna.solveNewton(x_next, t, 1.0, h, &x)) {
+            // Retry with the step halved (two sub-steps).
+            const double t_mid = times[k - 1] + 0.5 * h;
+            Solution x_mid = x;
+            const bool ok =
+                mna.solveNewton(x_mid, t_mid, 1.0, 0.5 * h, &x) &&
+                (x_next = x_mid,
+                 mna.solveNewton(x_next, t, 1.0, 0.5 * h, &x_mid));
+            if (!ok) {
+                fatal("TransientAnalysis: Newton failed at t = ", t,
+                      " s even after step halving");
+            }
+        }
+        x = std::move(x_next);
+        record(x);
+    }
+
+    return TransientResult(std::move(times), std::move(node_v),
+                           std::move(source_i));
+}
+
+} // namespace otft::circuit

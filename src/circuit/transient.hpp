@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Transient analysis with backward-Euler integration.
+ *
+ * Backward Euler is L-stable, which matters here: unipolar OTFT cells
+ * have decades of conductance spread between on and off devices and
+ * trapezoidal integration rings on such stiff systems. Steps are
+ * fixed-size with extra steps inserted at source waveform breakpoints
+ * so ramps start and stop exactly on a solver step.
+ */
+
+#ifndef OTFT_CIRCUIT_TRANSIENT_HPP
+#define OTFT_CIRCUIT_TRANSIENT_HPP
+
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/waveform.hpp"
+
+namespace otft::circuit {
+
+/** Transient run controls. */
+struct TransientConfig
+{
+    /** Simulation end time, seconds. */
+    double tStop = 1.0;
+    /** Base time step, seconds. */
+    double dt = 1e-3;
+    /** Newton controls for each step. */
+    NewtonConfig newton = {};
+};
+
+/** Sampled node voltages and source currents over a transient run. */
+class TransientResult
+{
+  public:
+    TransientResult(std::vector<double> time,
+                    std::vector<std::vector<double>> node_v,
+                    std::vector<std::vector<double>> source_i);
+
+    /** Voltage trace of a node. */
+    Trace node(NodeId node) const;
+
+    /** Branch current trace of a voltage source. */
+    Trace source(SourceId source) const;
+
+    /** The shared timebase. */
+    const std::vector<double> &time() const { return time_; }
+
+    /**
+     * Energy delivered by a voltage source over [t0, t1], joules
+     * (trapezoidal integral of v * i).
+     */
+    double sourceEnergy(SourceId source, double v_value, double t0,
+                        double t1) const;
+
+  private:
+    std::vector<double> time_;
+    /** nodeV[node][sample]; index 0 is ground (all zeros). */
+    std::vector<std::vector<double>> nodeV;
+    /** sourceI[source][sample]. */
+    std::vector<std::vector<double>> sourceI;
+};
+
+/** Transient engine over one circuit. */
+class TransientAnalysis
+{
+  public:
+    explicit TransientAnalysis(Circuit &circuit);
+
+    /**
+     * Run from a DC operating point at t = 0 to config.tStop.
+     * Throws FatalError if any step fails to converge after step-size
+     * reduction.
+     */
+    TransientResult run(const TransientConfig &config) const;
+
+  private:
+    Circuit &ckt;
+};
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_TRANSIENT_HPP

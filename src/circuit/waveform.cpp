@@ -1,0 +1,132 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace otft::circuit {
+
+Pwl
+Pwl::constant(double value)
+{
+    Pwl p;
+    p.ts = {0.0};
+    p.vs = {value};
+    return p;
+}
+
+Pwl
+Pwl::ramp(double v0, double v1, double t_start, double t_ramp)
+{
+    Pwl p;
+    p.ts = {t_start, t_start + t_ramp};
+    p.vs = {v0, v1};
+    return p;
+}
+
+Pwl
+Pwl::pulse(double v0, double v1, double t_start, double t_ramp,
+           double t_width)
+{
+    Pwl p;
+    p.ts = {t_start, t_start + t_ramp, t_start + t_ramp + t_width,
+            t_start + 2.0 * t_ramp + t_width};
+    p.vs = {v0, v1, v1, v0};
+    return p;
+}
+
+Pwl
+Pwl::points(std::vector<double> ts, std::vector<double> vs)
+{
+    if (ts.size() != vs.size() || ts.empty())
+        fatal("Pwl::points: mismatched or empty breakpoints");
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        if (ts[i] < ts[i - 1])
+            fatal("Pwl::points: times must be non-decreasing");
+    Pwl p;
+    p.ts = std::move(ts);
+    p.vs = std::move(vs);
+    return p;
+}
+
+double
+Pwl::at(double t) const
+{
+    return interpolate(ts, vs, t);
+}
+
+std::vector<double>
+Trace::crossings(double level, bool rising) const
+{
+    std::vector<double> out;
+    for (std::size_t i = 0; i + 1 < time.size(); ++i) {
+        const double a = value[i] - level;
+        const double b = value[i + 1] - level;
+        const bool crosses = rising ? (a < 0.0 && b >= 0.0)
+                                    : (a > 0.0 && b <= 0.0);
+        if (crosses) {
+            const double t = a / (a - b);
+            out.push_back(time[i] + t * (time[i + 1] - time[i]));
+        }
+    }
+    return out;
+}
+
+double
+Trace::firstCrossing(double level, bool rising, double t_min) const
+{
+    for (double t : crossings(level, rising))
+        if (t >= t_min)
+            return t;
+    return -1.0;
+}
+
+double
+Trace::at(double t) const
+{
+    return interpolate(time, value, t);
+}
+
+double
+measureSlew(const Trace &trace, double v_low, double v_high,
+            double frac_lo, double frac_hi, bool rising, double t_min)
+{
+    const double swing = v_high - v_low;
+    const double lvl_lo = v_low + frac_lo * swing;
+    const double lvl_hi = v_low + frac_hi * swing;
+    double t_a, t_b;
+    if (rising) {
+        t_a = trace.firstCrossing(lvl_lo, true, t_min);
+        if (t_a < 0.0)
+            return -1.0;
+        t_b = trace.firstCrossing(lvl_hi, true, t_a);
+    } else {
+        t_a = trace.firstCrossing(lvl_hi, false, t_min);
+        if (t_a < 0.0)
+            return -1.0;
+        t_b = trace.firstCrossing(lvl_lo, false, t_a);
+    }
+    if (t_b < 0.0)
+        return -1.0;
+    return t_b - t_a;
+}
+
+double
+measureDelay(const Trace &input, const Trace &output, double in_lo,
+             double in_hi, bool in_rising, double out_lo, double out_hi,
+             bool out_rising, double t_min)
+{
+    const double in_mid = 0.5 * (in_lo + in_hi);
+    const double out_mid = 0.5 * (out_lo + out_hi);
+    const double t_in = input.firstCrossing(in_mid, in_rising, t_min);
+    if (t_in < 0.0)
+        return -1.0;
+    const double t_out = output.firstCrossing(out_mid, out_rising, t_in);
+    if (t_out < 0.0)
+        return -1.0;
+    return t_out - t_in;
+}
+
+} // namespace otft::circuit

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Time-domain waveforms: piecewise-linear stimulus definitions for
+ * sources and sampled output traces with measurement helpers (crossing
+ * times, propagation delay, transition slew).
+ */
+
+#ifndef OTFT_CIRCUIT_WAVEFORM_HPP
+#define OTFT_CIRCUIT_WAVEFORM_HPP
+
+#include <vector>
+
+namespace otft::circuit {
+
+/** Piecewise-linear function of time; constant before/after the ends. */
+class Pwl
+{
+  public:
+    /** Constant value for all time. */
+    static Pwl constant(double value);
+
+    /**
+     * A single linear ramp from v0 to v1 starting at t_start taking
+     * t_ramp seconds, holding afterwards.
+     */
+    static Pwl ramp(double v0, double v1, double t_start, double t_ramp);
+
+    /**
+     * A rectangular pulse: v0 until t_start, ramp to v1 over t_ramp,
+     * hold for t_width, ramp back, hold v0.
+     */
+    static Pwl pulse(double v0, double v1, double t_start, double t_ramp,
+                     double t_width);
+
+    /** Explicit breakpoints; times must be non-decreasing. */
+    static Pwl points(std::vector<double> ts, std::vector<double> vs);
+
+    /** Evaluate at time t. */
+    double at(double t) const;
+
+    /** Value at t = 0 (DC operating point). */
+    double dc() const { return at(0.0); }
+
+    /** Breakpoint times (used by solvers to align time steps). */
+    const std::vector<double> &breakpoints() const { return ts; }
+
+  private:
+    std::vector<double> ts;
+    std::vector<double> vs;
+};
+
+/** A sampled trace of one quantity over time. */
+struct Trace
+{
+    std::vector<double> time;
+    std::vector<double> value;
+
+    /**
+     * Times at which the trace crosses the level in the given
+     * direction (interpolated). rising == true selects low-to-high
+     * crossings.
+     */
+    std::vector<double> crossings(double level, bool rising) const;
+
+    /** First crossing after t_min, or -1 if none. */
+    double firstCrossing(double level, bool rising,
+                         double t_min = 0.0) const;
+
+    /** Trace value at time t (interpolated, clamped). */
+    double at(double t) const;
+};
+
+/**
+ * Transition time between the two fractional levels (e.g. 0.2/0.8 of
+ * swing) around the crossing nearest after t_min.
+ * @return the slew in seconds, or -1 if the transition is not found.
+ */
+double measureSlew(const Trace &trace, double v_low, double v_high,
+                   double frac_lo, double frac_hi, bool rising,
+                   double t_min = 0.0);
+
+/**
+ * Propagation delay from the input crossing 50% to the output crossing
+ * 50% (of their respective swings).
+ * @return delay in seconds, or -1 if either crossing is missing.
+ */
+double measureDelay(const Trace &input, const Trace &output,
+                    double in_lo, double in_hi, bool in_rising,
+                    double out_lo, double out_hi, bool out_rising,
+                    double t_min = 0.0);
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_WAVEFORM_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Structural netlists of the superscalar pipeline regions.
+ *
+ * Each region of the AnyCore-style pipeline is generated as a
+ * combinational block whose size scales with the core's width
+ * parameters the same way the synthesized RTL does:
+ *
+ *   fetch     next-PC adder, BTB tag match, target select, and
+ *             per-slot alignment muxes (x fetchWidth)
+ *   decode    per-slot opcode decoders and control signal logic
+ *   rename    intra-group dependency cross-checks (x fetchWidth^2),
+ *             map-table reads, and allocation decoders
+ *   dispatch  IQ free-entry arbiters and entry write selects
+ *   issue     wakeup tag CAM (iqSize x 2 x backendWidth comparators)
+ *             and per-pipe age-ordered select trees
+ *   regread   register file read port mux trees (2 per pipe)
+ *   execute   full bypass network (sources x results) plus the simple
+ *             ALU (adder, logic unit, shifter, comparator)
+ *   retire    ROB commit selection and exception priority logic
+ *
+ * The complex ALU (pipelined multiplier + stallable divider) is
+ * generated separately (buildComplexAlu) because its pipeline depth
+ * is its own design axis (paper Fig. 12).
+ */
+
+#ifndef OTFT_CORE_BLOCKS_HPP
+#define OTFT_CORE_BLOCKS_HPP
+
+#include "arch/config.hpp"
+#include "netlist/netlist.hpp"
+
+namespace otft::core {
+
+/** Datapath width of the synthesized blocks, bits. */
+inline constexpr int dataWidth = 32;
+
+/** Physical register file entries modeled in regread. */
+inline constexpr int physRegs = 64;
+
+/** Build the combinational block of one pipeline region. */
+netlist::Netlist buildRegionBlock(arch::Region region,
+                                  const arch::CoreConfig &config);
+
+/**
+ * Build the complex ALU: a dataWidth x dataWidth multiplier plus a
+ * stallable non-restoring divider array computing `divider_rows`
+ * quotient bits per pass.
+ */
+netlist::Netlist buildComplexAlu(int divider_rows = 2);
+
+/**
+ * The wakeup-select loop: one result tag broadcast to every IQ
+ * entry's comparators, the ready AND, and the select arbiter with its
+ * grant gating. This loop must close in a single cycle for
+ * back-to-back issue of dependent operations (Palacharla/Jouppi), so
+ * it cannot be pipelined away: it floors the issue stage period no
+ * matter how many stages the region is cut into.
+ */
+netlist::Netlist buildWakeupLoop(const arch::CoreConfig &config);
+
+/**
+ * The bypass loop: an ALU result broadcast across all execution
+ * pipes, through the operand-select muxes, and back through the
+ * adder. Like the wakeup loop, it must close in one cycle for
+ * back-to-back dependent ALU operations and floors the execute stage.
+ */
+netlist::Netlist buildBypassLoop(const arch::CoreConfig &config);
+
+/**
+ * Sequential-state bits of the core's structures (ROB, IQ, LSQ,
+ * physical register file, rename map, predictor tables are SRAM and
+ * excluded). Charged as DFF area on top of the region logic.
+ */
+std::size_t storageBits(const arch::CoreConfig &config);
+
+} // namespace otft::core
+
+#endif // OTFT_CORE_BLOCKS_HPP

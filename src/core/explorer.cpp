@@ -1,0 +1,111 @@
+#include "core/explorer.hpp"
+
+#include "core/blocks.hpp"
+#include "netlist/bufferize.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace otft::core {
+
+ArchExplorer::ArchExplorer(const liberty::CellLibrary &library,
+                           ExplorerConfig config)
+    : library(library), config_(config), synth(library, config.sta),
+      workloads(workload::paperWorkloads())
+{
+}
+
+std::vector<double>
+ArchExplorer::measureIpc(const arch::CoreConfig &config)
+{
+    std::vector<double> ipc;
+    ipc.reserve(workloads.size());
+    for (const auto &profile : workloads) {
+        workload::TraceGenerator trace(profile, config_.seed);
+        arch::CoreModel core(config, trace);
+        ipc.push_back(core.run(config_.instructions).ipc());
+    }
+    return ipc;
+}
+
+DesignPoint
+ArchExplorer::evaluate(const arch::CoreConfig &config)
+{
+    DesignPoint point;
+    point.config = config;
+    point.timing = synth.synthesize(config);
+    point.ipc = measureIpc(config);
+    point.meanIpc = mean(point.ipc);
+    point.performance = point.meanIpc * point.timing.frequency;
+    return point;
+}
+
+DepthSweep
+ArchExplorer::depthSweep(int max_stages)
+{
+    DepthSweep sweep;
+    sweep.libraryName = library.name();
+    for (const auto &profile : workloads)
+        sweep.workloadNames.push_back(profile.name);
+
+    arch::CoreConfig config = arch::baselineConfig();
+    if (config.totalStages() > max_stages)
+        fatal("depthSweep: max_stages below the baseline depth");
+
+    while (true) {
+        sweep.points.push_back(evaluate(config));
+        if (config.totalStages() >= max_stages)
+            break;
+        config = synth.deepen(config);
+    }
+    return sweep;
+}
+
+WidthSweep
+ArchExplorer::widthSweep(int fe_min, int fe_max, int be_min, int be_max)
+{
+    WidthSweep sweep;
+    sweep.libraryName = library.name();
+    sweep.feMin = fe_min;
+    sweep.feMax = fe_max;
+    sweep.beMin = be_min;
+    sweep.beMax = be_max;
+
+    for (int be = be_min; be <= be_max; ++be) {
+        std::vector<DesignPoint> row;
+        for (int fe = fe_min; fe <= fe_max; ++fe) {
+            arch::CoreConfig config = arch::baselineConfig();
+            config.fetchWidth = fe;
+            config.aluPipes = be - config.memPipes - config.branchPipes;
+            if (config.aluPipes < 1)
+                fatal("widthSweep: back-end width ", be,
+                      " leaves no ALU pipes");
+            row.push_back(evaluate(config));
+        }
+        sweep.points.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+std::vector<AluPoint>
+ArchExplorer::aluDepthSweep(const std::vector<int> &stages)
+{
+    const netlist::Netlist alu = netlist::bufferize(buildComplexAlu(),
+                                                    6);
+    sta::Pipeliner pipeliner(library, config_.sta);
+    sta::StaEngine engine(library, config_.sta);
+
+    std::vector<AluPoint> points;
+    points.reserve(stages.size());
+    for (int n : stages) {
+        const auto report = pipeliner.pipeline(alu, n);
+        const auto sta = engine.analyze(report.netlist);
+        AluPoint p;
+        p.stages = n;
+        p.frequency = sta.maxFrequency;
+        p.area = sta.area;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace otft::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Architecture exploration: the paper's evaluation experiments
+ * (Sec. 5) as reusable drivers.
+ *
+ * Performance is IPC x clock frequency (paper Sec. 5.3/5.4); IPC
+ * comes from the cycle-level core model on the seven workloads, and
+ * frequency/area from the core synthesizer under a given technology
+ * library. Depth sweeps deepen the baseline by repeatedly cutting the
+ * critical stage under each library; width sweeps cover the paper's
+ * front-end 1-6 x back-end 3-7 grid.
+ */
+
+#ifndef OTFT_CORE_EXPLORER_HPP
+#define OTFT_CORE_EXPLORER_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/core.hpp"
+#include "core/synthesizer.hpp"
+#include "workload/trace.hpp"
+
+namespace otft::core {
+
+/** One synthesized + simulated design point. */
+struct DesignPoint
+{
+    arch::CoreConfig config;
+    CoreTiming timing;
+    /** IPC per workload (paperWorkloads() order). */
+    std::vector<double> ipc;
+    /** Mean IPC over workloads. */
+    double meanIpc = 0.0;
+    /** Mean performance = mean IPC x frequency, 1/s. */
+    double performance = 0.0;
+};
+
+/** Result of a depth sweep (Fig. 11 / Fig. 15b). */
+struct DepthSweep
+{
+    std::string libraryName;
+    std::vector<DesignPoint> points; // one per total stage count
+    std::vector<std::string> workloadNames;
+};
+
+/** Result of a width sweep (Fig. 13 / Fig. 14). */
+struct WidthSweep
+{
+    std::string libraryName;
+    /** points[be - beMin][fe - feMin]. */
+    std::vector<std::vector<DesignPoint>> points;
+    int feMin = 1, feMax = 6;
+    int beMin = 3, beMax = 7;
+};
+
+/** One point of an ALU depth sweep (Fig. 12 / Fig. 15a). */
+struct AluPoint
+{
+    int stages = 1;
+    double frequency = 0.0;
+    double area = 0.0;
+};
+
+/** Exploration controls. */
+struct ExplorerConfig
+{
+    /** Instructions simulated per IPC measurement. */
+    std::uint64_t instructions = 100000;
+    /** Trace seed. */
+    std::uint64_t seed = 7;
+    /** STA configuration (wire on/off for Fig. 15). */
+    sta::StaConfig sta = {};
+};
+
+/** The exploration driver bound to one technology library. */
+class ArchExplorer
+{
+  public:
+    ArchExplorer(const liberty::CellLibrary &library,
+                 ExplorerConfig config = {});
+
+    /** Synthesize + simulate one configuration. */
+    DesignPoint evaluate(const arch::CoreConfig &config);
+
+    /**
+     * The paper's depth sweep: start at the 9-stage baseline and cut
+     * the critical stage until `max_stages` total stages.
+     */
+    DepthSweep depthSweep(int max_stages = 15);
+
+    /** The paper's width sweep at baseline depth. */
+    WidthSweep widthSweep(int fe_min = 1, int fe_max = 6,
+                          int be_min = 3, int be_max = 7);
+
+    /** ALU pipeline depth sweep (complex ALU standalone, Fig. 12). */
+    std::vector<AluPoint> aluDepthSweep(const std::vector<int> &stages);
+
+    /** IPC of a configuration on every paper workload. */
+    std::vector<double> measureIpc(const arch::CoreConfig &config);
+
+    CoreSynthesizer &synthesizer() { return synth; }
+
+  private:
+    const liberty::CellLibrary &library;
+    ExplorerConfig config_;
+    CoreSynthesizer synth;
+    std::vector<workload::BenchmarkProfile> workloads;
+};
+
+} // namespace otft::core
+
+#endif // OTFT_CORE_EXPLORER_HPP

@@ -1,0 +1,189 @@
+#include "core/synthesizer.hpp"
+
+#include <algorithm>
+
+#include <cmath>
+
+#include "core/blocks.hpp"
+#include "netlist/bufferize.hpp"
+#include "util/logging.hpp"
+
+namespace otft::core {
+
+using arch::CoreConfig;
+using arch::Region;
+
+CoreSynthesizer::CoreSynthesizer(const liberty::CellLibrary &library,
+                                 sta::StaConfig sta_config)
+    : library(library), staConfig_(sta_config),
+      engine(library, sta_config), pipeliner(library, sta_config)
+{
+}
+
+const netlist::Netlist &
+CoreSynthesizer::block(Region region, const CoreConfig &config)
+{
+    const auto key = std::make_tuple(static_cast<int>(region),
+                                     config.fetchWidth,
+                                     config.aluPipes);
+    auto it = blockCache.find(key);
+    if (it == blockCache.end()) {
+        it = blockCache
+                 .emplace(key, netlist::bufferize(
+                                   buildRegionBlock(region, config), 6))
+                 .first;
+    }
+    return it->second;
+}
+
+CoreTiming
+CoreSynthesizer::synthesize(const CoreConfig &config)
+{
+    CoreTiming timing;
+
+    static constexpr Region all_regions[] = {
+        Region::Fetch,   Region::Decode, Region::Rename,
+        Region::Dispatch, Region::Issue, Region::RegRead,
+        Region::Execute, Region::Retire,
+    };
+
+    for (Region region : all_regions) {
+        const auto key = std::make_tuple(static_cast<int>(region),
+                                         config.fetchWidth,
+                                         config.aluPipes,
+                                         config.stagesIn(region));
+        auto cached = timingCache.find(key);
+        if (cached == timingCache.end()) {
+            const netlist::Netlist &comb = block(region, config);
+            const auto report =
+                pipeliner.pipeline(comb, config.stagesIn(region));
+            const auto sta = engine.analyze(report.netlist);
+
+            RegionTiming rt;
+            rt.region = region;
+            rt.stages = config.stagesIn(region);
+            rt.clockPeriod = sta.minClockPeriod;
+            rt.area = sta.area;
+            rt.cells = sta.cellCount;
+            cached = timingCache.emplace(key, rt).first;
+        }
+        const RegionTiming &rt = cached->second;
+        timing.regions.push_back(rt);
+        timing.area += rt.area;
+    }
+
+    // Single-cycle loop floors (Palacharla/Jouppi): the wakeup-select
+    // and bypass loops must close combinationally regardless of how
+    // deep the issue/execute regions are cut. Their broadcast nets
+    // span the core, so the floor carries a block-span wire term that
+    // is significant in silicon and negligible in organic — the
+    // paper's "communication between the pipelines" effect (Sec. 5.5).
+    {
+        const double span =
+            loopSpanCoefficient * std::sqrt(timing.area);
+
+        sta::StaConfig loop_cfg = staConfig_;
+        loop_cfg.registerInputs = false;
+        loop_cfg.registerOutputs = false;
+
+        loop_cfg.extraSpanPerNet = span;
+        const double wakeup_floor =
+            sta::StaEngine(library, loop_cfg)
+                .analyze(loopNetlist(LoopKind::Wakeup, config))
+                .minClockPeriod;
+
+        loop_cfg.extraSpanPerNet =
+            span * static_cast<double>(config.backendWidth()) / 3.0;
+        const double bypass_floor =
+            sta::StaEngine(library, loop_cfg)
+                .analyze(loopNetlist(LoopKind::Bypass, config))
+                .minClockPeriod;
+
+        for (RegionTiming &rt : timing.regions) {
+            if (rt.region == Region::Issue)
+                rt.clockPeriod = std::max(rt.clockPeriod, wakeup_floor);
+            if (rt.region == Region::Execute)
+                rt.clockPeriod = std::max(rt.clockPeriod, bypass_floor);
+        }
+    }
+
+    for (const RegionTiming &rt : timing.regions) {
+        if (rt.clockPeriod > timing.clockPeriod) {
+            timing.clockPeriod = rt.clockPeriod;
+            timing.critical = rt.region;
+        }
+    }
+
+    // Storage structures as DFF arrays.
+    const liberty::StdCell &dff = library.cell("dff");
+    timing.area +=
+        static_cast<double>(storageBits(config)) * dff.area;
+
+    // Complex ALU: pipeline just deep enough to meet the core clock
+    // (stallable DesignWare-style unit; it never sets the clock).
+    {
+        auto it = aluCache.find(0);
+        if (it == aluCache.end()) {
+            it = aluCache
+                     .emplace(0, netlist::bufferize(buildComplexAlu(),
+                                                    6))
+                     .first;
+        }
+        const netlist::Netlist &alu = it->second;
+        auto alu_at = [&](int stages) -> std::pair<double, double> {
+            auto hit = aluTimingCache.find(stages);
+            if (hit == aluTimingCache.end()) {
+                const auto report = pipeliner.pipeline(alu, stages);
+                const auto sta = engine.analyze(report.netlist);
+                hit = aluTimingCache
+                          .emplace(stages,
+                                   std::make_pair(sta.minClockPeriod,
+                                                  sta.area))
+                          .first;
+            }
+            return hit->second;
+        };
+
+        // Start from a period-ratio estimate and grow until the unit
+        // meets the core clock.
+        const double comb_period = alu_at(1).first;
+        int stages = std::max(
+            1, static_cast<int>(comb_period / timing.clockPeriod));
+        std::pair<double, double> result = alu_at(stages);
+        while (result.first > timing.clockPeriod && stages < 48)
+            result = alu_at(++stages);
+        timing.complexAluStages = stages;
+        timing.area += result.second;
+    }
+
+    timing.frequency =
+        timing.clockPeriod > 0.0 ? 1.0 / timing.clockPeriod : 0.0;
+    return timing;
+}
+
+const netlist::Netlist &
+CoreSynthesizer::loopNetlist(LoopKind kind, const CoreConfig &config)
+{
+    const auto key = std::make_tuple(static_cast<int>(kind),
+                                     config.fetchWidth,
+                                     config.aluPipes);
+    auto it = loopCache.find(key);
+    if (it == loopCache.end()) {
+        netlist::Netlist loop =
+            kind == LoopKind::Wakeup ? buildWakeupLoop(config)
+                                     : buildBypassLoop(config);
+        it = loopCache.emplace(key, netlist::bufferize(loop, 6)).first;
+    }
+    return it->second;
+}
+
+CoreConfig
+CoreSynthesizer::deepen(const CoreConfig &config)
+{
+    const CoreTiming timing = synthesize(config);
+    CoreConfig deeper = config;
+    ++deeper.stagesIn(timing.critical);
+    return deeper;
+}
+
+} // namespace otft::core

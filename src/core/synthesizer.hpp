@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core synthesis: maps a CoreConfig onto technology timing and area.
+ *
+ * For each pipeline region, the synthesizer builds the region's
+ * combinational block (core/blocks.hpp), buffers high-fanout nets,
+ * slices it into the configured number of stages with the
+ * delay-balanced pipeliner, and runs STA under the target library.
+ * The core's clock period is the worst region period; its area is the
+ * sum of region areas plus the DFF-array cost of the core's storage
+ * structures and the complex ALU (pipelined just deep enough to meet
+ * the core clock, as a stallable DesignWare unit would be).
+ *
+ * Deepening reproduces the paper's methodology: "we synthesize the
+ * baseline design and cut the stage which is on the critical path"
+ * (Sec. 5.1) — deepen() adds one stage to whichever region currently
+ * limits the clock under the *target library*, so organic and silicon
+ * cores with the same stage count are cut in different places, as the
+ * paper observes in Sec. 5.5.
+ */
+
+#ifndef OTFT_CORE_SYNTHESIZER_HPP
+#define OTFT_CORE_SYNTHESIZER_HPP
+
+#include <map>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "liberty/library.hpp"
+#include "sta/pipeline.hpp"
+#include "sta/sta.hpp"
+
+namespace otft::core {
+
+/** Timing/area of one synthesized region. */
+struct RegionTiming
+{
+    arch::Region region = arch::Region::Fetch;
+    int stages = 1;
+    double clockPeriod = 0.0;
+    double area = 0.0;
+    std::size_t cells = 0;
+};
+
+/** Timing/area of a synthesized core. */
+struct CoreTiming
+{
+    /** Minimum core clock period, seconds. */
+    double clockPeriod = 0.0;
+    /** Maximum frequency, hertz. */
+    double frequency = 0.0;
+    /** Total area (regions + storage + complex ALU), m^2. */
+    double area = 0.0;
+    /** The region limiting the clock. */
+    arch::Region critical = arch::Region::Fetch;
+    /** Stages chosen for the complex ALU to meet the core clock. */
+    int complexAluStages = 1;
+    /** Per-region detail. */
+    std::vector<RegionTiming> regions;
+};
+
+/** Synthesizes cores against one library. */
+class CoreSynthesizer
+{
+  public:
+    CoreSynthesizer(const liberty::CellLibrary &library,
+                    sta::StaConfig sta_config = {});
+
+    /** Synthesize a configuration. */
+    CoreTiming synthesize(const arch::CoreConfig &config);
+
+    /**
+     * One step of "cut the critical stage": returns the configuration
+     * with one more stage in the region that limits the clock.
+     */
+    arch::CoreConfig deepen(const arch::CoreConfig &config);
+
+    const liberty::CellLibrary &lib() const { return library; }
+    const sta::StaConfig &staConfig() const { return staConfig_; }
+
+    /**
+     * Broadcast-span coefficient for the single-cycle loop floors:
+     * loop nets route an extra loopSpanCoefficient * sqrt(core area).
+     */
+    double loopSpanCoefficient = 0.09;
+
+  private:
+    /** Bufferized combinational block, cached by (region, widths). */
+    const netlist::Netlist &block(arch::Region region,
+                                  const arch::CoreConfig &config);
+
+    enum class LoopKind { Wakeup, Bypass };
+
+    /** Bufferized loop netlist, cached by (kind, widths). */
+    const netlist::Netlist &loopNetlist(LoopKind kind,
+                                        const arch::CoreConfig &config);
+
+    const liberty::CellLibrary &library;
+    sta::StaConfig staConfig_;
+    sta::StaEngine engine;
+    sta::Pipeliner pipeliner;
+    std::map<std::tuple<int, int, int>, netlist::Netlist> blockCache;
+    std::map<std::tuple<int, int, int>, netlist::Netlist> loopCache;
+    /** Region timing cached by (region, fetchWidth, aluPipes, stages). */
+    std::map<std::tuple<int, int, int, int>, RegionTiming> timingCache;
+    /** Complex ALU comb block (width-independent). */
+    std::map<int, netlist::Netlist> aluCache;
+    /** Complex ALU pipelined timing by stage count. */
+    std::map<int, std::pair<double, double>> aluTimingCache;
+};
+
+} // namespace otft::core
+
+#endif // OTFT_CORE_SYNTHESIZER_HPP

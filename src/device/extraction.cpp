@@ -1,0 +1,131 @@
+#include "device/extraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace otft::device {
+
+namespace {
+
+/** Least-squares line over the subset of points passing a predicate. */
+template <typename Pred>
+LineFit
+fitRegion(const std::vector<double> &xs, const std::vector<double> &ys,
+          Pred keep)
+{
+    std::vector<double> fx, fy;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (keep(i)) {
+            fx.push_back(xs[i]);
+            fy.push_back(ys[i]);
+        }
+    }
+    if (fx.size() < 2)
+        fatal("ParameterExtractor: too few points in regression region");
+    return fitLine(fx, fy);
+}
+
+} // namespace
+
+ExtractedParams
+ParameterExtractor::extract(const TransferCurve &curve,
+                            Regime regime) const
+{
+    if (curve.vgs.size() != curve.id.size() || curve.vgs.size() < 16)
+        fatal("ParameterExtractor: malformed curve");
+
+    // Work in the forward frame with VGS ascending so the on-region is
+    // at the top of the sweep regardless of polarity.
+    std::vector<double> vgs(curve.vgs.size());
+    for (std::size_t i = 0; i < curve.vgs.size(); ++i)
+        vgs[i] = polarity == Polarity::PType ? -curve.vgs[i]
+                                             : curve.vgs[i];
+    std::vector<double> id = curve.id;
+    if (vgs.front() > vgs.back()) {
+        std::reverse(vgs.begin(), vgs.end());
+        std::reverse(id.begin(), id.end());
+    }
+
+    if (regime == Regime::Auto) {
+        regime = std::abs(curve.vds) > 3.0 ? Regime::Saturation
+                                           : Regime::Linear;
+    }
+
+    ExtractedParams out;
+
+    const double id_max = *std::max_element(id.begin(), id.end());
+    const double id_min = *std::min_element(id.begin(), id.end());
+    out.onOffRatio = id_min > 0.0 ? id_max / id_min : 0.0;
+
+    // --- On-region regression: ID (triode) or sqrt(ID) (saturation)
+    //     versus VGS over the strongest half of the on current.
+    const auto in_on_region = [&](std::size_t i) {
+        return id[i] >= 0.5 * id_max;
+    };
+
+    if (regime == Regime::Linear) {
+        const LineFit fit = fitRegion(vgs, id, in_on_region);
+        out.gm = fit.slope;
+        const double vds_mag = std::abs(curve.vds);
+        if (vds_mag > 0.0 && fit.slope > 0.0) {
+            out.mobility = fit.slope * geometry.l /
+                           (geometry.w * geometry.ci * vds_mag);
+        }
+        const double vt_forward =
+            fit.slope > 0.0 ? fit.solveFor(0.0) : 0.0;
+        out.vt = polarity == Polarity::PType ? -vt_forward : vt_forward;
+    } else {
+        std::vector<double> sqrt_id(id.size());
+        for (std::size_t i = 0; i < id.size(); ++i)
+            sqrt_id[i] = std::sqrt(std::max(id[i], 0.0));
+        const double s_max =
+            *std::max_element(sqrt_id.begin(), sqrt_id.end());
+        const LineFit fit = fitRegion(vgs, sqrt_id, [&](std::size_t i) {
+            return sqrt_id[i] >= 0.5 * s_max;
+        });
+        const double vt_forward =
+            fit.slope > 0.0 ? fit.solveFor(0.0) : 0.0;
+        out.vt = polarity == Polarity::PType ? -vt_forward : vt_forward;
+        // Effective saturation transconductance at the sweep top; an
+        // effective mobility from the square-law relation.
+        out.gm = 2.0 * fit.slope * s_max;
+        const double vov = vgs.back() - vt_forward;
+        if (vov > 0.0) {
+            out.mobility = 2.0 * fit.slope * fit.slope * geometry.l /
+                           (geometry.w * geometry.ci);
+        }
+    }
+
+    // --- Subthreshold slope: regression of log10(ID) against VGS over
+    //     the clean exponential region between the floor and the knee.
+    // Stay well above the leakage floor and well below the knee where
+    // the exponential bends into the power-law on-region. If the sweep
+    // is too coarse for the strict window, widen the top level until
+    // enough points are available.
+    const double floor_level = std::max(id_min * 30.0, 1e-14);
+    double top_level = id_max * 10e-5;
+    std::vector<double> log_id(id.size());
+    for (std::size_t i = 0; i < id.size(); ++i)
+        log_id[i] = std::log10(std::max(id[i], 1e-18));
+    for (int widen = 0; widen < 4; ++widen, top_level *= 10.0) {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < id.size(); ++i)
+            if (id[i] > floor_level && id[i] < top_level)
+                ++count;
+        if (count < 6)
+            continue;
+        const LineFit fit = fitRegion(vgs, log_id, [&](std::size_t i) {
+            return id[i] > floor_level && id[i] < top_level;
+        });
+        if (fit.slope > 0.0)
+            out.ss = 1.0 / fit.slope;
+        break;
+    }
+
+    return out;
+}
+
+} // namespace otft::device

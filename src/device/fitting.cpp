@@ -1,0 +1,141 @@
+#include "device/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/optimize.hpp"
+
+namespace otft::device {
+
+namespace {
+
+constexpr double logFloor = 1e-15;
+
+double
+safeLog10(double x)
+{
+    return std::log10(std::max(x, logFloor));
+}
+
+} // namespace
+
+double
+ModelFitter::deviceVds(const TransferCurve &curve) const
+{
+    // Curves store |VDS| (the paper's axis convention); a p-type sweep
+    // was taken at negative drain bias.
+    return polarity == Polarity::PType ? -std::abs(curve.vds)
+                                       : std::abs(curve.vds);
+}
+
+FitQuality
+ModelFitter::evaluate(const TransistorModel &model,
+                      const TransferCurve &curve) const
+{
+    const double vds = deviceVds(curve);
+    const double id_max =
+        *std::max_element(curve.id.begin(), curve.id.end());
+
+    FitQuality q;
+    double sum_log = 0.0;
+    double sum_on = 0.0;
+    std::size_t n_on = 0;
+    for (std::size_t i = 0; i < curve.vgs.size(); ++i) {
+        const double meas = curve.id[i];
+        const double sim =
+            std::abs(model.drainCurrent(curve.vgs[i], vds));
+        const double e_log = safeLog10(sim) - safeLog10(meas);
+        sum_log += e_log * e_log;
+        if (meas > 0.1 * id_max) {
+            const double e_rel = (sim - meas) / meas;
+            sum_on += e_rel * e_rel;
+            ++n_on;
+        }
+    }
+    q.rmsLogError =
+        std::sqrt(sum_log / static_cast<double>(curve.vgs.size()));
+    q.rmsOnRegionError =
+        n_on ? std::sqrt(sum_on / static_cast<double>(n_on)) : 0.0;
+    return q;
+}
+
+Level1Fit
+ModelFitter::fitLevel1(const TransferCurve &curve,
+                       const Level1Params &start) const
+{
+    const double vds = deviceVds(curve);
+    const double id_max =
+        *std::max_element(curve.id.begin(), curve.id.end());
+
+    auto objective = [&](const std::vector<double> &x) {
+        Level1Params p = start;
+        p.vt = x[0];
+        p.u0 = std::abs(x[1]);
+        Level1Model model(polarity, geometry, p);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < curve.vgs.size(); ++i) {
+            const double sim =
+                std::abs(model.drainCurrent(curve.vgs[i], vds));
+            const double e = (sim - curve.id[i]) / id_max;
+            sum += e * e;
+        }
+        return sum;
+    };
+
+    NelderMeadOptions options;
+    options.maxEvals = 4000;
+    const auto result =
+        nelderMead(objective, {start.vt, start.u0}, options);
+
+    Level1Fit fit;
+    fit.params = start;
+    fit.params.vt = result.x[0];
+    fit.params.u0 = std::abs(result.x[1]);
+    Level1Model model(polarity, geometry, fit.params);
+    fit.quality = evaluate(model, curve);
+    return fit;
+}
+
+Level61Fit
+ModelFitter::fitLevel61(const TransferCurve &curve,
+                        const Level61Params &start) const
+{
+    const double vds = deviceVds(curve);
+
+    auto make_params = [&](const std::vector<double> &x) {
+        Level61Params p = start;
+        p.vt0 = x[0];
+        p.u0 = std::abs(x[1]);
+        p.gamma = std::clamp(x[2], 0.0, 2.0);
+        p.ss = std::clamp(x[3], 0.05, 2.0);
+        p.iOff = std::pow(10.0, std::clamp(x[4], -15.0, -8.0));
+        return p;
+    };
+
+    auto objective = [&](const std::vector<double> &x) {
+        Level61Model model(polarity, geometry, make_params(x));
+        double sum = 0.0;
+        for (std::size_t i = 0; i < curve.vgs.size(); ++i) {
+            const double sim =
+                std::abs(model.drainCurrent(curve.vgs[i], vds));
+            const double e = safeLog10(sim) - safeLog10(curve.id[i]);
+            sum += e * e;
+        }
+        return sum;
+    };
+
+    NelderMeadOptions options;
+    options.maxEvals = 6000;
+    const std::vector<double> x0 = {start.vt0, start.u0, start.gamma,
+                                    start.ss, std::log10(start.iOff)};
+    const auto result = nelderMead(objective, x0, options);
+
+    Level61Fit fit;
+    fit.params = make_params(result.x);
+    Level61Model model(polarity, geometry, fit.params);
+    fit.quality = evaluate(model, curve);
+    return fit;
+}
+
+} // namespace otft::device

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SPICE model fitting to measured transfer curves (paper Fig. 4).
+ *
+ * The level-1 model is fit on a linear current scale (it has no
+ * subthreshold region to fit); the level-61 model is fit on a log
+ * current scale across the whole sweep. Both use Nelder-Mead over the
+ * physical parameters.
+ */
+
+#ifndef OTFT_DEVICE_FITTING_HPP
+#define OTFT_DEVICE_FITTING_HPP
+
+#include <memory>
+
+#include "device/level1_model.hpp"
+#include "device/level61_model.hpp"
+#include "device/measurement.hpp"
+
+namespace otft::device {
+
+/** Fit quality for a model against a measured curve. */
+struct FitQuality
+{
+    /** RMS error of log10(ID) over the sweep. */
+    double rmsLogError = 0.0;
+    /** RMS relative error over the above-threshold region only. */
+    double rmsOnRegionError = 0.0;
+};
+
+/** Result of fitting a level-1 model. */
+struct Level1Fit
+{
+    Level1Params params;
+    FitQuality quality;
+};
+
+/** Result of fitting a level-61 model. */
+struct Level61Fit
+{
+    Level61Params params;
+    FitQuality quality;
+};
+
+/**
+ * Fits device models to measured transfer curves for a device of known
+ * polarity and geometry.
+ */
+class ModelFitter
+{
+  public:
+    ModelFitter(Polarity polarity, Geometry geometry)
+        : polarity(polarity), geometry(geometry)
+    {}
+
+    /**
+     * Fit the Shichman-Hodges model (vt, u0) to one transfer curve by
+     * minimizing squared linear-scale current error (which weights the
+     * on-region, the only region the model can represent).
+     */
+    Level1Fit fitLevel1(const TransferCurve &curve,
+                        const Level1Params &start = {}) const;
+
+    /**
+     * Fit the RPI TFT model (vt0, u0, gamma, ss, iOff) to one transfer
+     * curve by minimizing squared log-scale current error.
+     */
+    Level61Fit fitLevel61(const TransferCurve &curve,
+                          const Level61Params &start = {}) const;
+
+    /** Evaluate fit quality of an arbitrary model against a curve. */
+    FitQuality evaluate(const TransistorModel &model,
+                        const TransferCurve &curve) const;
+
+  private:
+    /** Device-frame VDS for a magnitude-convention curve. */
+    double deviceVds(const TransferCurve &curve) const;
+
+    Polarity polarity;
+    Geometry geometry;
+};
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_FITTING_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SPICE level-61 (RPI amorphous-silicon TFT) model.
+ *
+ * The paper adopts the level-61 model for the pentacene OTFT because,
+ * although developed for a-Si, it describes a three-terminal
+ * accumulation-mode transistor with power-law field-effect mobility, a
+ * finite subthreshold slope, and a leakage floor — all of which the
+ * measured pentacene devices exhibit and which the level-1 model lacks
+ * (paper Sec. 4.2, Fig. 4).
+ *
+ * This implementation keeps the characteristic structure of the RPI
+ * model (unified overdrive smoothing, power-law mobility, soft
+ * saturation knee, drain-induced threshold shift, ohmic leakage) in a
+ * compact single-piece equation that is continuous in all regions,
+ * which matters for Newton-Raphson convergence in the circuit solver.
+ */
+
+#ifndef OTFT_DEVICE_LEVEL61_MODEL_HPP
+#define OTFT_DEVICE_LEVEL61_MODEL_HPP
+
+#include "device/transistor_model.hpp"
+
+namespace otft::device {
+
+/**
+ * Parameters of the RPI-style TFT model (forward frame).
+ *
+ * The defaults are the calibrated golden-pentacene values: they were
+ * fixed-point iterated so that regression-based parameter extraction
+ * on simulated noisy sweeps (the same extraction applied to real
+ * probe-station data) reproduces the paper's published figures of
+ * merit — mobility 0.16 cm^2/Vs, VT -1.3 V at |VDS| = 1 V and +1.3 V
+ * at |VDS| = 10 V, SS ~350 mV/dec, on/off 1e6. Because the published
+ * numbers are themselves extraction artifacts of a curved power-law
+ * device, the raw model parameters (e.g. vt0) differ from the quoted
+ * figures of merit; what is calibrated is the *extracted* value.
+ */
+struct Level61Params
+{
+    /** Threshold parameter at vdsRef, volts (forward frame). */
+    double vt0 = 1.0515;
+    /** Reference VDS at which vt0 is quoted, volts. */
+    double vdsRef = 1.0;
+    /**
+     * Drain-induced threshold shift, V per V of VDS beyond vdsRef.
+     * Calibrated so the extracted VT moves from -1.3 V at |VDS| = 1 V
+     * to +1.3 V at |VDS| = 10 V, as published.
+     */
+    double dibl = 0.2659;
+    /**
+     * The drain-induced shift saturates: |VDS| beyond vdsRef + diblVmax
+     * adds no further shift. Calibrated over the measured 1-10 V range;
+     * without the clamp, extrapolating the linear shift to the +/-15 V
+     * pseudo-E rails would predict unphysically conductive off devices.
+     */
+    double diblVmax = 9.0;
+    /** Band mobility in m^2/(V s). */
+    double u0 = 0.1541e-4;
+    /** Mobility power-law exponent (GAMMA in the RPI model). */
+    double gamma = 0.05;
+    /** Mobility reference voltage (VAA), volts. */
+    double vaa = 7.0;
+    /** Subthreshold slope parameter, volts per decade. */
+    double ss = 0.2634;
+    /** Saturation knee sharpness (M in the RPI model). */
+    double mSat = 4.0;
+    /** Saturation voltage as a fraction of overdrive (ALPHASAT). */
+    double alphaSat = 0.6;
+    /** Channel length modulation, 1/V. */
+    double lambda = 0.002;
+    /** Off-state leakage floor, amperes (sets the on/off ratio). */
+    double iOff = 3.412e-12;
+};
+
+/**
+ * Accumulation-mode TFT with subthreshold conduction and leakage.
+ *
+ * The smooth overdrive v_eff = s * ln(1 + exp((vgs - vt)/s)) with
+ * s = ss * (2 + gamma) / ln(10) produces drain current proportional to
+ * exp((vgs - vt) * ln(10) / ss) deep below threshold — i.e. the target
+ * subthreshold slope — while converging to (vgs - vt) above threshold.
+ */
+class Level61Model : public TransistorModel
+{
+  public:
+    Level61Model(Polarity polarity, Geometry geometry, Level61Params params)
+        : TransistorModel(polarity, geometry), params_(params)
+    {}
+
+    std::string name() const override { return "level61"; }
+
+    const Level61Params &params() const { return params_; }
+
+    /** Effective threshold at the given forward VDS (DIBL applied). */
+    double effectiveVt(double vds) const;
+
+  protected:
+    double forwardCurrent(double vgs, double vds) const override;
+
+  private:
+    Level61Params params_;
+};
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_LEVEL61_MODEL_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic measurement bench.
+ *
+ * The paper measures fabricated devices with an HP4155A parameter
+ * analyzer in an N2 glove box. We have no probe station, so this bench
+ * generates the same artifact the instrument would produce — ID-VGS
+ * transfer sweeps with gate leakage traces — from a golden device model
+ * plus instrument noise and a current measurement floor. Downstream
+ * code (extraction, model fitting, Fig. 3 and Fig. 4 benches) consumes
+ * only the sweep data, exactly as it would consume instrument CSVs.
+ */
+
+#ifndef OTFT_DEVICE_MEASUREMENT_HPP
+#define OTFT_DEVICE_MEASUREMENT_HPP
+
+#include <vector>
+
+#include "device/transistor_model.hpp"
+#include "util/rng.hpp"
+
+namespace otft::device {
+
+/** One measured transfer characteristic (fixed VDS, swept VGS). */
+struct TransferCurve
+{
+    /** Drain-source bias held during the sweep, volts (device frame). */
+    double vds = 0.0;
+    /** Swept gate voltages, volts. */
+    std::vector<double> vgs;
+    /** Measured drain current magnitudes, amperes. */
+    std::vector<double> id;
+    /** Measured gate leakage magnitudes, amperes. */
+    std::vector<double> ig;
+};
+
+/** One output characteristic (fixed VGS, swept VDS). */
+struct OutputCurve
+{
+    double vgs = 0.0;
+    std::vector<double> vds;
+    std::vector<double> id;
+};
+
+/** Instrument configuration. */
+struct InstrumentConfig
+{
+    /** Multiplicative log-normal current noise (sigma of ln ID). */
+    double currentNoiseSigma = 0.03;
+    /** Additive measurement floor, amperes (HP4155A class). */
+    double currentFloor = 3e-14;
+    /** Gate leakage conductance, siemens (dielectric quality). */
+    double gateLeakage = 2e-13;
+    /** Seed for instrument noise. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Sweeps a device model and records instrument-shaped data.
+ */
+class MeasurementBench
+{
+  public:
+    explicit MeasurementBench(InstrumentConfig config = {})
+        : config_(config), rng(config.seed)
+    {}
+
+    /**
+     * Measure an ID-VGS transfer curve at the given VDS.
+     * @param model device under test
+     * @param vds drain bias (device frame; negative for a p-type sweep
+     *            matching the paper's "VDS = 1 V" magnitude convention)
+     * @param vgs_lo,vgs_hi sweep range
+     * @param points number of sweep points
+     */
+    TransferCurve measureTransfer(const TransistorModel &model, double vds,
+                                  double vgs_lo, double vgs_hi,
+                                  std::size_t points);
+
+    /** Measure an ID-VDS output curve at the given VGS. */
+    OutputCurve measureOutput(const TransistorModel &model, double vgs,
+                              double vds_lo, double vds_hi,
+                              std::size_t points);
+
+    const InstrumentConfig &config() const { return config_; }
+
+  private:
+    /** Apply log-normal noise and the measurement floor to |i|. */
+    double instrument(double current);
+
+    InstrumentConfig config_;
+    Rng rng;
+};
+
+/**
+ * The paper's Fig. 3 sweep: the golden pentacene device measured at
+ * |VDS| of 1 V and 10 V, VGS from -10 V to +10 V. Returns the pair of
+ * transfer curves in that order.
+ */
+std::vector<TransferCurve> measurePentaceneFig3(std::size_t points = 201,
+                                                std::uint64_t seed = 42);
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_MEASUREMENT_HPP

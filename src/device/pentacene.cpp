@@ -1,0 +1,46 @@
+#include "device/pentacene.hpp"
+
+namespace otft::device {
+
+Geometry
+pentaceneGeometry()
+{
+    Geometry g;
+    g.w = pentacene::width;
+    g.l = pentacene::length;
+    g.ci = pentacene::ci;
+    return g;
+}
+
+std::shared_ptr<const Level61Model>
+makePentaceneGolden()
+{
+    return makePentaceneGolden(pentaceneGeometry());
+}
+
+std::shared_ptr<const Level61Model>
+makePentaceneGolden(const Geometry &geometry)
+{
+    // Defaults in Level61Params are the calibrated golden values; the
+    // calibration is locked in by tests/device/test_extraction.cpp,
+    // which extracts mobility/SS/VT/on-off from simulated sweeps and
+    // checks them against the published numbers above.
+    return std::make_shared<Level61Model>(Polarity::PType, geometry,
+                                          Level61Params{});
+}
+
+std::shared_ptr<const Level61Model>
+makePentacene(const Level61Params &params)
+{
+    return std::make_shared<Level61Model>(Polarity::PType,
+                                          pentaceneGeometry(), params);
+}
+
+std::shared_ptr<const Level1Model>
+makePentaceneLevel1(const Level1Params &params)
+{
+    return std::make_shared<Level1Model>(Polarity::PType,
+                                         pentaceneGeometry(), params);
+}
+
+} // namespace otft::device

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The reference pentacene OTFT from the paper's fabrication run.
+ *
+ * Bottom-gate, top-contact pentacene on Eagle XG glass: 50 nm sputtered
+ * Cr gate, 50 nm ALD Al2O3 gate dielectric (OTS-treated), 50 nm thermal
+ * pentacene, 50 nm Au source/drain through a shadow mask (paper
+ * Sec. 3.3). Published figures of merit (paper Sec. 4.1, Fig. 3):
+ *
+ *   W/L            1000 um / 80 um
+ *   linear mobility 0.16 cm^2/Vs
+ *   subthreshold    350 mV/decade
+ *   on/off ratio    1e6
+ *   VT              -1.3 V at VDS = 1 V, +1.3 V at VDS = 10 V
+ *   VT spread       within 0.5 V across a sample
+ */
+
+#ifndef OTFT_DEVICE_PENTACENE_HPP
+#define OTFT_DEVICE_PENTACENE_HPP
+
+#include "device/level1_model.hpp"
+#include "device/level61_model.hpp"
+
+namespace otft::device {
+
+/** Published pentacene device constants. */
+namespace pentacene {
+
+/** Channel width, meters. */
+inline constexpr double width = 1000e-6;
+/** Channel length, meters. */
+inline constexpr double length = 80e-6;
+/** 50 nm ALD Al2O3, eps_r ~= 8: Ci = 1.42e-3 F/m^2 (142 nF/cm^2). */
+inline constexpr double ci = 1.417e-3;
+/** Published linear mobility, m^2/(V s). */
+inline constexpr double linearMobility = 0.16e-4;
+/** Published subthreshold slope, V/decade. */
+inline constexpr double subthresholdSlope = 0.35;
+/** Published on/off current ratio. */
+inline constexpr double onOffRatio = 1e6;
+/** Published threshold at VDS = 1 V (device frame), volts. */
+inline constexpr double vtAtVds1 = -1.3;
+/** Published threshold at VDS = 10 V (device frame), volts. */
+inline constexpr double vtAtVds10 = 1.3;
+/** Published cross-sample VT spread, volts. */
+inline constexpr double vtSpread = 0.5;
+
+} // namespace pentacene
+
+/** Geometry of the published W/L = 1000/80 um test structure. */
+Geometry pentaceneGeometry();
+
+/**
+ * The golden pentacene device: a level-61 model calibrated so that
+ * parameter extraction on its simulated sweeps reproduces the published
+ * figures of merit. This is the stand-in for the physical devices
+ * measured on the probe station.
+ */
+std::shared_ptr<const Level61Model> makePentaceneGolden();
+
+/** The golden device at a caller-chosen geometry (for cell sizing). */
+std::shared_ptr<const Level61Model> makePentaceneGolden(
+    const Geometry &geometry);
+
+/** Level-61 model with explicit parameters at pentacene geometry. */
+std::shared_ptr<const Level61Model> makePentacene(
+    const Level61Params &params);
+
+/**
+ * A level-1 model with textbook pentacene numbers, used as the fitting
+ * starting point for Fig. 4.
+ */
+std::shared_ptr<const Level1Model> makePentaceneLevel1(
+    const Level1Params &params = {});
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_PENTACENE_HPP

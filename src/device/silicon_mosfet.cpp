@@ -1,0 +1,62 @@
+#include "device/silicon_mosfet.hpp"
+
+#include <cmath>
+
+namespace otft::device {
+
+double
+SiliconMosfetModel::forwardCurrent(double vgs, double vds) const
+{
+    const SiliconParams &p = params_;
+    const double ln10 = 2.302585092994046;
+    const double vov = vgs - p.vt;
+
+    const double kp = p.u0 * geometry().ci * geometry().aspect();
+    const double leak = p.iOff * std::tanh(vds);
+
+    if (vov <= 0.0) {
+        // Subthreshold: exponential with the configured slope, matched
+        // to the above-threshold expression at vov = 0 via idEdge.
+        const double id_edge = kp * std::pow(p.ss / ln10, p.alpha);
+        return id_edge * std::exp(vov * ln10 / p.ss) + leak;
+    }
+
+    const double id_sat = kp * std::pow(vov + p.ss / ln10, p.alpha) *
+                          (1.0 + p.lambda * vds);
+    const double vdsat = p.kv * std::pow(vov, p.alpha / 2.0);
+    if (vds >= vdsat)
+        return id_sat + leak;
+
+    // Quadratic blend into the triode region (Sakurai-Newton form).
+    const double x = vds / vdsat;
+    return id_sat * x * (2.0 - x) + leak;
+}
+
+Geometry
+silicon45Geometry()
+{
+    Geometry g;
+    g.w = 400e-9;
+    g.l = 45e-9;
+    // ~1.4 nm effective oxide: Ci = 3.9 * eps0 / 1.4 nm.
+    g.ci = 2.47e-2;
+    return g;
+}
+
+TransistorModelPtr
+makeSilicon45Nmos()
+{
+    return std::make_shared<SiliconMosfetModel>(
+        Polarity::NType, silicon45Geometry(), SiliconParams{});
+}
+
+TransistorModelPtr
+makeSilicon45Pmos()
+{
+    SiliconParams p;
+    p.u0 = 80e-4;
+    return std::make_shared<SiliconMosfetModel>(
+        Polarity::PType, silicon45Geometry(), p);
+}
+
+} // namespace otft::device

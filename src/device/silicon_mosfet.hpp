@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Alpha-power-law silicon MOSFET model (Sakurai-Newton) for a 45 nm
+ * class process.
+ *
+ * The paper's silicon numbers come from a trimmed TSMC 45 nm standard
+ * cell library; we do not need transistor-level silicon simulation for
+ * the architecture experiments (the silicon Liberty data is constructed
+ * directly, see liberty::makeSiliconLibrary). This model exists so the
+ * same device->cell flow can be exercised end to end on silicon in
+ * tests and examples, and to document the device-level contrast (e.g.
+ * the ~1000x mobility gap the paper cites).
+ */
+
+#ifndef OTFT_DEVICE_SILICON_MOSFET_HPP
+#define OTFT_DEVICE_SILICON_MOSFET_HPP
+
+#include "device/transistor_model.hpp"
+
+namespace otft::device {
+
+/** Alpha-power-law parameters (forward frame). */
+struct SiliconParams
+{
+    /** Threshold voltage magnitude, volts. */
+    double vt = 0.45;
+    /** Effective mobility in m^2/(V s) (~160 cm^2/Vs at 45 nm). */
+    double u0 = 160e-4;
+    /** Velocity-saturation exponent; 2 = long channel, ~1.3 at 45 nm. */
+    double alpha = 1.3;
+    /** Saturation voltage coefficient: vdsat = kv * vov^(alpha/2). */
+    double kv = 0.9;
+    /** Channel length modulation, 1/V. */
+    double lambda = 0.1;
+    /** Subthreshold slope, volts/decade. */
+    double ss = 0.1;
+    /** Leakage floor, amperes. */
+    double iOff = 1e-9;
+};
+
+/** Short-channel silicon FET with velocity saturation. */
+class SiliconMosfetModel : public TransistorModel
+{
+  public:
+    SiliconMosfetModel(Polarity polarity, Geometry geometry,
+                       SiliconParams params)
+        : TransistorModel(polarity, geometry), params_(params)
+    {}
+
+    std::string name() const override { return "silicon"; }
+
+    const SiliconParams &params() const { return params_; }
+
+  protected:
+    double forwardCurrent(double vgs, double vds) const override;
+
+  private:
+    SiliconParams params_;
+};
+
+/** 45 nm class geometry: W = 400 nm, L = 45 nm, Ci ~ 2.5e-2 F/m^2. */
+Geometry silicon45Geometry();
+
+/** A representative 45 nm NMOS transistor. */
+TransistorModelPtr makeSilicon45Nmos();
+
+/** A representative 45 nm PMOS transistor (mobility ~ half of NMOS). */
+TransistorModelPtr makeSilicon45Pmos();
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_SILICON_MOSFET_HPP

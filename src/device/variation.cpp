@@ -1,0 +1,26 @@
+#include "device/variation.hpp"
+
+#include <cmath>
+
+namespace otft::device {
+
+Level61Params
+VariationModel::sample(const Level61Params &nominal, Rng &rng) const
+{
+    Level61Params p = nominal;
+    p.vt0 = nominal.vt0 + rng.normal(0.0, config_.vtSigma);
+    p.u0 = nominal.u0 * std::exp(rng.normal(0.0, config_.mobilityLnSigma));
+    p.iOff = nominal.iOff *
+             std::pow(10.0, rng.normal(0.0, config_.leakageDecadeSigma));
+    return p;
+}
+
+std::shared_ptr<const Level61Model>
+VariationModel::sampleDevice(const Level61Model &nominal, Rng &rng) const
+{
+    return std::make_shared<Level61Model>(
+        nominal.polarity(), nominal.geometry(),
+        sample(nominal.params(), rng));
+}
+
+} // namespace otft::device

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Process variation sampling.
+ *
+ * Organic semiconductors have low uniformity: the paper quotes a VT
+ * spread within 0.5 V across a sample and cites significant current
+ * variation as one of the four core OTFT challenges (Sec. 1). This
+ * module samples per-device parameter sets around the golden values so
+ * circuits and Monte Carlo tests can quantify robustness (e.g. noise
+ * margin under variation, the paper's motivation for the VSS-tunable
+ * pseudo-E switching threshold).
+ */
+
+#ifndef OTFT_DEVICE_VARIATION_HPP
+#define OTFT_DEVICE_VARIATION_HPP
+
+#include "device/level61_model.hpp"
+#include "util/rng.hpp"
+
+namespace otft::device {
+
+/** Distribution widths for organic process variation. */
+struct VariationConfig
+{
+    /**
+     * Std deviation of the VT shift, volts. The published "spread
+     * within 0.5 V" is read as a +/-2 sigma band -> sigma = 0.125 V.
+     */
+    double vtSigma = 0.125;
+    /** Sigma of ln(mobility) — log-normal mobility variation. */
+    double mobilityLnSigma = 0.10;
+    /** Sigma of ln(iOff) in decades of leakage variation. */
+    double leakageDecadeSigma = 0.3;
+};
+
+/**
+ * Samples varied device parameter sets. Deterministic given the seed of
+ * the caller-provided Rng.
+ */
+class VariationModel
+{
+  public:
+    explicit VariationModel(VariationConfig config = {})
+        : config_(config)
+    {}
+
+    /** Draw one varied parameter set around the nominal values. */
+    Level61Params sample(const Level61Params &nominal, Rng &rng) const;
+
+    /** Draw a varied device model at the given geometry/polarity. */
+    std::shared_ptr<const Level61Model> sampleDevice(
+        const Level61Model &nominal, Rng &rng) const;
+
+    const VariationConfig &config() const { return config_; }
+
+  private:
+    VariationConfig config_;
+};
+
+} // namespace otft::device
+
+#endif // OTFT_DEVICE_VARIATION_HPP

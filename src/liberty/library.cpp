@@ -1,0 +1,55 @@
+#include "liberty/library.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace otft::liberty {
+
+double
+TimingArc::worstDelay(double slew, double load) const
+{
+    return std::max(delay[0].lookup(slew, load),
+                    delay[1].lookup(slew, load));
+}
+
+double
+TimingArc::worstSlew(double slew, double load) const
+{
+    return std::max(outputSlew[0].lookup(slew, load),
+                    outputSlew[1].lookup(slew, load));
+}
+
+const TimingArc &
+StdCell::arc(int pin) const
+{
+    if (pin < 0 || static_cast<std::size_t>(pin) >= arcs.size())
+        fatal("StdCell::arc: cell ", name, " has no arc for pin ", pin);
+    return arcs[static_cast<std::size_t>(pin)];
+}
+
+void
+CellLibrary::addCell(StdCell cell)
+{
+    if (cells.count(cell.name))
+        fatal("CellLibrary: duplicate cell ", cell.name);
+    order.push_back(cell.name);
+    cells.emplace(cell.name, std::move(cell));
+}
+
+const StdCell &
+CellLibrary::cell(const std::string &name) const
+{
+    const auto it = cells.find(name);
+    if (it == cells.end())
+        fatal("CellLibrary ", name_, ": unknown cell ", name);
+    return it->second;
+}
+
+bool
+CellLibrary::hasCell(const std::string &name) const
+{
+    return cells.count(name) != 0;
+}
+
+} // namespace otft::liberty

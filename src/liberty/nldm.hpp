@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Non-linear delay model (NLDM) look-up tables.
+ *
+ * The paper characterizes its organic library with NLDM (Sec. 4.4): a
+ * voltage-based model indexed by input transition time and output
+ * capacitive load, with resistive/inductive interconnect effects
+ * neglected — "suitable for both silicon and organic technologies."
+ * Tables are bilinear inside the characterized grid and extrapolate
+ * linearly outside it, as synthesis tools do.
+ */
+
+#ifndef OTFT_LIBERTY_NLDM_HPP
+#define OTFT_LIBERTY_NLDM_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace otft::liberty {
+
+/** A 2-D NLDM table over (input slew, output load). */
+class NldmTable
+{
+  public:
+    NldmTable() = default;
+
+    /**
+     * @param slew_axis input transition times, ascending, seconds
+     * @param load_axis output loads, ascending, farads
+     * @param values row-major [slew][load]
+     */
+    NldmTable(std::vector<double> slew_axis,
+              std::vector<double> load_axis,
+              std::vector<double> values);
+
+    /** Bilinear lookup with linear extrapolation outside the grid. */
+    double lookup(double slew, double load) const;
+
+    bool empty() const { return values_.empty(); }
+
+    const std::vector<double> &slewAxis() const { return slewAxis_; }
+    const std::vector<double> &loadAxis() const { return loadAxis_; }
+    const std::vector<double> &values() const { return values_; }
+
+    /**
+     * Build a table from an analytic model d(slew, load), sampling it
+     * on the given axes. Used for the constructed silicon library.
+     */
+    template <typename Fn>
+    static NldmTable
+    fromModel(const std::vector<double> &slew_axis,
+              const std::vector<double> &load_axis, Fn &&model)
+    {
+        std::vector<double> values;
+        values.reserve(slew_axis.size() * load_axis.size());
+        for (double s : slew_axis)
+            for (double l : load_axis)
+                values.push_back(model(s, l));
+        return NldmTable(slew_axis, load_axis, std::move(values));
+    }
+
+  private:
+    /** Index of the lower axis cell for x, clamped to [0, n-2]. */
+    static std::size_t segment(const std::vector<double> &axis, double x);
+
+    std::vector<double> slewAxis_;
+    std::vector<double> loadAxis_;
+    std::vector<double> values_;
+};
+
+} // namespace otft::liberty
+
+#endif // OTFT_LIBERTY_NLDM_HPP

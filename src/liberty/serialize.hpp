@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compact Liberty-style text serialization of cell libraries.
+ *
+ * A plain-text format in the spirit of Liberty (one library block,
+ * cell/arc/table sub-blocks) that round-trips every field this
+ * framework uses. Benches and examples use it to cache the organic
+ * library, so the transistor-level characterization runs once per
+ * machine instead of once per binary.
+ */
+
+#ifndef OTFT_LIBERTY_SERIALIZE_HPP
+#define OTFT_LIBERTY_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace otft::liberty {
+
+/** Write a library to a stream in the text format. */
+void writeLibrary(std::ostream &os, const CellLibrary &library);
+
+/** Write a library to a file; fatal on I/O failure. */
+void saveLibrary(const std::string &path, const CellLibrary &library);
+
+/** Parse a library from a stream; fatal on malformed input. */
+CellLibrary readLibrary(std::istream &is);
+
+/** Load a library from a file; fatal on I/O or parse failure. */
+CellLibrary loadLibrary(const std::string &path);
+
+/** Load if the file exists and parses; nullopt otherwise. */
+std::optional<CellLibrary> tryLoadLibrary(const std::string &path);
+
+/**
+ * Load the library from `path` if the file exists; otherwise build it
+ * with the supplied builder, save it to `path`, and return it.
+ */
+template <typename Builder>
+CellLibrary
+loadOrBuild(const std::string &path, Builder &&builder)
+{
+    if (std::optional<CellLibrary> cached = tryLoadLibrary(path))
+        return std::move(*cached);
+    CellLibrary library = builder();
+    saveLibrary(path, library);
+    return library;
+}
+
+} // namespace otft::liberty
+
+#endif // OTFT_LIBERTY_SERIALIZE_HPP

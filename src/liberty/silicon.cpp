@@ -1,0 +1,141 @@
+#include "liberty/silicon.hpp"
+
+namespace otft::liberty {
+
+namespace {
+
+/** One row of the constructed-library recipe. */
+struct CellRecipe
+{
+    const char *name;
+    int fanIn;
+    /** Logical effort (input cap and drive scaling). */
+    double g;
+    /** Parasitic delay in units of tau. */
+    double p;
+    /** Area, m^2. */
+    double area;
+    /** Leakage, watts. */
+    double leakage;
+};
+
+const CellRecipe recipes[] = {
+    // name    fanIn  g       p     area        leakage
+    {"inv",    1,     1.0,    1.0,  0.76e-12,   15e-9},
+    {"nand2",  2,     4.0/3., 2.0,  1.06e-12,   22e-9},
+    {"nand3",  3,     5.0/3., 3.0,  1.37e-12,   30e-9},
+    {"nor2",   2,     5.0/3., 2.0,  1.06e-12,   24e-9},
+    {"nor3",   3,     7.0/3., 3.0,  1.37e-12,   34e-9},
+};
+
+} // namespace
+
+CellLibrary
+makeSiliconLibrary(SiliconConfig config)
+{
+    CellLibrary library("silicon45", config.vdd);
+
+    // Equal-drive sizing: every cell has the INV drive resistance and
+    // input capacitance scaled by its logical effort.
+    const double r_drive = config.tau / config.invCap;
+
+    const std::vector<double> slew_axis = {5e-12, 20e-12, 80e-12,
+                                           320e-12};
+    const std::vector<double> load_axis = {0.5e-15, 2e-15, 8e-15,
+                                           32e-15};
+
+    for (const CellRecipe &recipe : recipes) {
+        StdCell cell;
+        cell.name = recipe.name;
+        cell.fanIn = recipe.fanIn;
+        cell.area = recipe.area;
+        cell.inputCap = recipe.g * config.invCap;
+        cell.leakage = recipe.leakage;
+
+        auto delay_model = [&](double slew, double load) {
+            return recipe.p * config.tau + r_drive * load +
+                   config.slewFactor * slew;
+        };
+        auto slew_model = [&](double slew, double load) {
+            return config.slewGain *
+                   (recipe.p * config.tau + r_drive * load) +
+                   0.1 * slew;
+        };
+
+        for (int pin = 0; pin < recipe.fanIn; ++pin) {
+            TimingArc arc;
+            arc.fromPin = std::string(1, static_cast<char>('a' + pin));
+            // Later pins are marginally slower (series stack position),
+            // mirroring real library arc spreads.
+            const double pin_penalty =
+                1.0 + 0.06 * static_cast<double>(pin);
+            for (int sense = 0; sense < 2; ++sense) {
+                // NOR pull-up is weaker: rising arcs ~15% slower.
+                const bool is_nor =
+                    std::string(recipe.name).rfind("nor", 0) == 0;
+                const double sense_penalty =
+                    (sense == static_cast<int>(Sense::Rise) && is_nor)
+                        ? 1.15
+                        : 1.0;
+                arc.delay[sense] = NldmTable::fromModel(
+                    slew_axis, load_axis,
+                    [&](double s, double l) {
+                        return delay_model(s, l) * pin_penalty *
+                               sense_penalty;
+                    });
+                arc.outputSlew[sense] = NldmTable::fromModel(
+                    slew_axis, load_axis, slew_model);
+            }
+            cell.arcs.push_back(std::move(arc));
+        }
+        library.addCell(std::move(cell));
+    }
+
+    // --- DFF.
+    {
+        StdCell dff;
+        dff.name = "dff";
+        dff.fanIn = 1;
+        dff.isSequential = true;
+        dff.area = 4.5e-12;
+        dff.inputCap = config.invCap;
+        dff.leakage = 90e-9;
+        dff.flop.clkToQ = config.clkToQ;
+        dff.flop.setup = config.setup;
+        dff.flop.hold = config.hold;
+        dff.flop.clockPinCap = config.invCap;
+
+        TimingArc arc;
+        arc.fromPin = "d";
+        auto q_delay = [&](double, double load) {
+            return config.clkToQ + r_drive * load;
+        };
+        auto q_slew = [&](double, double load) {
+            return config.slewGain * (config.clkToQ * 0.5 +
+                                      r_drive * load);
+        };
+        for (int sense = 0; sense < 2; ++sense) {
+            arc.delay[sense] =
+                NldmTable::fromModel(slew_axis, load_axis, q_delay);
+            arc.outputSlew[sense] =
+                NldmTable::fromModel(slew_axis, load_axis, q_slew);
+        }
+        dff.arcs.push_back(std::move(arc));
+        library.addCell(std::move(dff));
+    }
+
+    // 45 nm-class mid-level metal: ~2 ohm/um, ~0.2 fF/um; net length
+    // scales with the ~1-2 um cell pitch.
+    WireParams &wire = library.wire();
+    wire.resPerMeter = 2e6;
+    wire.capPerMeter = 2e-10;
+    wire.lengthBase = 8e-6;
+    wire.lengthPerFanout = 6e-6;
+    wire.driverRes = r_drive;
+
+    library.setDefaultSlew(20e-12);
+    library.setClockMargin(config.clockMargin);
+    return library;
+}
+
+} // namespace otft::liberty

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fanout-tree buffering.
+ *
+ * Synthesis never leaves a 60-sink net on the clock-rate critical
+ * path: high-fanout nets get buffer trees. The six-cell library has
+ * no BUF, so buffers are inverter pairs, exactly as a trimmed-library
+ * synthesis run would map them. Without this pass, both technologies
+ * saturate on the same max-fanout net and the pipeline-depth
+ * experiments measure fanout artifacts instead of technology.
+ */
+
+#ifndef OTFT_NETLIST_BUFFERIZE_HPP
+#define OTFT_NETLIST_BUFFERIZE_HPP
+
+#include "netlist/netlist.hpp"
+
+namespace otft::netlist {
+
+/**
+ * Rewrite the netlist so no net drives more than `max_fanout` sinks,
+ * by inserting inverter-pair buffer trees. Preserves logic function
+ * and input/output/flop ordering.
+ */
+Netlist bufferize(const Netlist &nl, int max_fanout = 6);
+
+} // namespace otft::netlist
+
+#endif // OTFT_NETLIST_BUFFERIZE_HPP

@@ -1,0 +1,84 @@
+#include "sta/path_report.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace otft::sta {
+
+void
+PathReport::render(std::ostream &os) const
+{
+    Table table({"#", "gate", "cell", "incr", "wire", "arrival",
+                 "load"});
+    long long idx = 0;
+    for (const PathHop &hop : hops) {
+        table.row()
+            .add(idx++)
+            .add(static_cast<long long>(hop.gate))
+            .add(hop.cell)
+            .add(formatSi(hop.incremental, "s"))
+            .add(formatSi(hop.wireDelay, "s"))
+            .add(formatSi(hop.arrival, "s"))
+            .add(formatSi(hop.load, "F"));
+    }
+    table.render(os);
+    os << "path arrival " << formatSi(arrival, "s") << ", wire share "
+       << formatNumber(100.0 * wireFraction, 3) << "%\n";
+}
+
+PathReport
+reportCriticalPath(const StaEngine &engine, const netlist::Netlist &nl)
+{
+    const StaResult result = engine.analyze(nl);
+    // arrivalTimes re-runs propagation; cheap relative to analyze.
+    const std::vector<double> arrivals = engine.arrivalTimes(nl);
+
+    // Per-net load/wire recomputation mirroring the engine.
+    const auto fanouts = nl.fanouts();
+    const WireModel wire_model(engine.lib().wire(),
+                               engine.config().wireEnabled);
+
+    PathReport report;
+    report.arrival = result.worstArrival;
+
+    // criticalPath is endpoint-first; walk it source-first.
+    std::vector<netlist::GateId> path(result.criticalPath.rbegin(),
+                                      result.criticalPath.rend());
+    double prev_arrival = 0.0;
+    for (netlist::GateId id : path) {
+        const std::size_t g = static_cast<std::size_t>(id);
+        PathHop hop;
+        hop.gate = id;
+        const char *cell_name =
+            netlist::cellNameOf(nl.gate(id).kind);
+        hop.cell = cell_name            ? cell_name
+                   : nl.gate(id).kind ==
+                           netlist::GateKind::Input
+                       ? "input"
+                       : "const";
+        hop.arrival = std::max(arrivals[g], 0.0);
+        hop.incremental = hop.arrival - prev_arrival;
+        prev_arrival = hop.arrival;
+
+        double sink_cap = 0.0;
+        for (netlist::GateId s : fanouts[g]) {
+            const char *sink_cell =
+                netlist::cellNameOf(nl.gate(s).kind);
+            if (sink_cell)
+                sink_cap += engine.lib().cell(sink_cell).inputCap;
+        }
+        const WireEstimate estimate = wire_model.estimate(
+            static_cast<int>(fanouts[g].size()), sink_cap);
+        hop.load = sink_cap + estimate.cap;
+        hop.wireDelay = estimate.delay;
+        report.totalWireDelay += estimate.delay;
+        report.hops.push_back(std::move(hop));
+    }
+    report.wireFraction =
+        report.arrival > 0.0 ? report.totalWireDelay / report.arrival
+                             : 0.0;
+    return report;
+}
+
+} // namespace otft::sta

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Human-readable critical path reports — the timing-report tooling a
+ * downstream user expects from a synthesis-style flow: per-gate cell
+ * name, incremental delay, cumulative arrival, and the wire share of
+ * each hop.
+ */
+
+#ifndef OTFT_STA_PATH_REPORT_HPP
+#define OTFT_STA_PATH_REPORT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace otft::sta {
+
+/** One hop of a reported path. */
+struct PathHop
+{
+    netlist::GateId gate = netlist::nullGate;
+    /** Liberty cell name ("input", "dff", "nand2", ...). */
+    std::string cell;
+    /** Incremental delay of this hop (cell + its input net), s. */
+    double incremental = 0.0;
+    /** Cumulative arrival after this hop, s. */
+    double arrival = 0.0;
+    /** Wire component of the incremental delay, s. */
+    double wireDelay = 0.0;
+    /** Load driven by this gate's net, farads. */
+    double load = 0.0;
+};
+
+/** A decoded critical path. */
+struct PathReport
+{
+    std::vector<PathHop> hops;
+    /** Total path arrival, seconds. */
+    double arrival = 0.0;
+    /** Sum of wire components, seconds. */
+    double totalWireDelay = 0.0;
+    /** Wire share of the path delay in [0, 1]. */
+    double wireFraction = 0.0;
+
+    /** Render an aligned text report. */
+    void render(std::ostream &os) const;
+};
+
+/**
+ * Decode the critical path of a netlist under a library into hop
+ * detail (re-runs the analysis internally).
+ */
+PathReport reportCriticalPath(const StaEngine &engine,
+                              const netlist::Netlist &nl);
+
+} // namespace otft::sta
+
+#endif // OTFT_STA_PATH_REPORT_HPP

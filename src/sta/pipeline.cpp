@@ -1,0 +1,217 @@
+#include "sta/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace otft::sta {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+/**
+ * Greedy stage assignment under a per-stage delay budget: walk the
+ * netlist in topological order tracking each gate's within-stage
+ * arrival; when adding a gate would blow the budget, push it to the
+ * next stage (its inputs will be registered). Returns the number of
+ * stages used. This is the balanced min-max partition underlying
+ * "cut the stage on the critical path": bisecting on the budget finds
+ * the most balanced N-stage slicing.
+ */
+struct StageAssigner
+{
+    const Netlist &nl;
+    const liberty::CellLibrary &library;
+    /** Per-gate incremental delay (arc at its net load + net wire). */
+    const std::vector<double> &gateDelay;
+    /** Delay from a stage-entry register to a gate's inputs. */
+    double launchDelay;
+
+    /** stage[g] and intra-stage arrival out parameters. */
+    int
+    assign(double budget, std::vector<int> &stage) const
+    {
+        const std::size_t n = nl.numGates();
+        stage.assign(n, 0);
+        std::vector<double> intra(n, 0.0);
+        int max_stage = 0;
+
+        for (GateId id : nl.topoOrder()) {
+            const std::size_t g = static_cast<std::size_t>(id);
+            const Gate &gate = nl.gate(id);
+            const int fan_in = netlist::fanInOf(gate.kind);
+            if (fan_in == 0) {
+                stage[g] = 0;
+                intra[g] = launchDelay;
+                continue;
+            }
+
+            int st = 0;
+            for (int k = 0; k < fan_in; ++k)
+                st = std::max(st, stage[static_cast<std::size_t>(
+                                      gate.fanin[static_cast<std::size_t>(
+                                          k)])]);
+
+            // Within-stage arrival: fanins in earlier stages arrive
+            // from a register.
+            double t = launchDelay;
+            for (int k = 0; k < fan_in; ++k) {
+                const std::size_t s = static_cast<std::size_t>(
+                    gate.fanin[static_cast<std::size_t>(k)]);
+                if (stage[s] == st)
+                    t = std::max(t, intra[s]);
+            }
+            t += gateDelay[g];
+
+            if (t > budget) {
+                // Start a new stage with this gate.
+                ++st;
+                t = launchDelay + gateDelay[g];
+            }
+            stage[g] = st;
+            intra[g] = t;
+            max_stage = std::max(max_stage, st);
+        }
+        return max_stage + 1;
+    }
+};
+
+} // namespace
+
+PipelineReport
+Pipeliner::pipeline(const Netlist &comb, int stages) const
+{
+    if (stages < 1)
+        fatal("Pipeliner: stages must be >= 1, got ", stages);
+    if (!comb.dffs().empty())
+        fatal("Pipeliner: input netlist must be purely combinational");
+
+    const std::size_t n = comb.numGates();
+    std::vector<int> stage(n, 0);
+
+    if (stages > 1) {
+        // Per-gate incremental delays at the comb netlist's loads
+        // (a good approximation of the post-insertion loads).
+        StaEngine engine(library, config_);
+        const std::vector<double> arrival = engine.arrivalTimes(comb);
+
+        std::vector<double> gate_delay(n, 0.0);
+        {
+            // Incremental delay = arrival - max fanin arrival; for
+            // first-level gates it is arrival - launch.
+            const double launch = library.cell("dff").flop.clkToQ;
+            for (GateId id : comb.topoOrder()) {
+                const std::size_t g = static_cast<std::size_t>(id);
+                const Gate &gate = comb.gate(id);
+                const int fan_in = netlist::fanInOf(gate.kind);
+                if (fan_in == 0 || arrival[g] < 0.0)
+                    continue;
+                double src_max = 0.0;
+                bool any = false;
+                for (int k = 0; k < fan_in; ++k) {
+                    const std::size_t s = static_cast<std::size_t>(
+                        gate.fanin[static_cast<std::size_t>(k)]);
+                    if (arrival[s] >= 0.0) {
+                        src_max = std::max(src_max, arrival[s]);
+                        any = true;
+                    }
+                }
+                gate_delay[g] =
+                    std::max(arrival[g] - (any ? src_max : launch),
+                             1e-18);
+            }
+        }
+
+        const liberty::FlopTiming &flop = library.cell("dff").flop;
+        StageAssigner assigner{comb, library, gate_delay, flop.clkToQ};
+
+        // Parametric search: smallest per-stage budget that fits in
+        // the requested stage count.
+        double lo = flop.clkToQ;
+        for (double d : gate_delay)
+            lo = std::max(lo, flop.clkToQ + d);
+        double hi = *std::max_element(arrival.begin(), arrival.end()) +
+                    flop.clkToQ;
+        for (int it = 0; it < 40; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (assigner.assign(mid, stage) <= stages)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        assigner.assign(hi, stage);
+    }
+
+    // Rebuild with register ranks on stage-crossing nets. DFF chains
+    // are shared per (driver, depth), mirroring retiming register
+    // sharing.
+    PipelineReport report;
+    report.stages = stages;
+    Netlist &out = report.netlist;
+
+    std::vector<GateId> remap(n, netlist::nullGate);
+    // pipes[g][k] is g's signal delayed by k+1 cycles.
+    std::vector<std::vector<GateId>> pipes(n);
+
+    auto delayed = [&](GateId old_src, int cycles) -> GateId {
+        const std::size_t s = static_cast<std::size_t>(old_src);
+        if (cycles <= 0)
+            return remap[s];
+        auto &chain = pipes[s];
+        while (static_cast<int>(chain.size()) < cycles) {
+            const GateId prev = chain.empty() ? remap[s] : chain.back();
+            chain.push_back(out.addDff(prev));
+            ++report.insertedFlops;
+        }
+        return chain[static_cast<std::size_t>(cycles - 1)];
+    };
+
+    std::size_t input_idx = 0;
+    for (GateId id : comb.topoOrder()) {
+        const std::size_t g = static_cast<std::size_t>(id);
+        const Gate &gate = comb.gate(id);
+        switch (gate.kind) {
+          case GateKind::Input:
+            remap[g] = out.addInput(comb.inputNames()[input_idx++]);
+            break;
+          case GateKind::Const0:
+            remap[g] = out.constant(false);
+            break;
+          case GateKind::Const1:
+            remap[g] = out.constant(true);
+            break;
+          case GateKind::Dff:
+            panic("Pipeliner: unexpected flop");
+          default: {
+            const int fan_in = netlist::fanInOf(gate.kind);
+            GateId mapped[3] = {netlist::nullGate, netlist::nullGate,
+                                netlist::nullGate};
+            for (int k = 0; k < fan_in; ++k) {
+                const GateId src =
+                    gate.fanin[static_cast<std::size_t>(k)];
+                const std::size_t s = static_cast<std::size_t>(src);
+                mapped[k] = delayed(src, stage[g] - stage[s]);
+            }
+            remap[g] =
+                out.addGate(gate.kind, mapped[0], mapped[1], mapped[2]);
+            break;
+          }
+        }
+    }
+
+    // Outputs: align every output to the final stage so the block has
+    // uniform latency.
+    for (const auto &port : comb.outputs()) {
+        const std::size_t g = static_cast<std::size_t>(port.gate);
+        const GateId aligned =
+            delayed(port.gate, (stages - 1) - stage[g]);
+        out.addOutput(port.name, aligned);
+    }
+    return report;
+}
+
+} // namespace otft::sta

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Delay-balanced pipelining of combinational netlists.
+ *
+ * Implements the paper's methodology of repeatedly "cutting the stage
+ * which is on the critical path": gates are assigned to stages by
+ * slicing the STA arrival-time profile into equal delay bands under
+ * the *target library*, then register ranks are inserted on every
+ * stage-crossing net (shared per driver, like retiming register
+ * sharing). Because arrival times differ between the organic and
+ * silicon libraries, the same block pipelined for each technology is
+ * cut in different places — exactly the effect the paper describes in
+ * Sec. 5.5.
+ */
+
+#ifndef OTFT_STA_PIPELINE_HPP
+#define OTFT_STA_PIPELINE_HPP
+
+#include "sta/sta.hpp"
+
+namespace otft::sta {
+
+/** Result of pipelining a block. */
+struct PipelineReport
+{
+    /** The pipelined netlist (DFF ranks inserted). */
+    netlist::Netlist netlist;
+    /** Requested stage count. */
+    int stages = 1;
+    /** Registers inserted. */
+    std::size_t insertedFlops = 0;
+};
+
+/**
+ * Pipeliner bound to a library/config (the cut points depend on the
+ * technology's delays).
+ */
+class Pipeliner
+{
+  public:
+    Pipeliner(const liberty::CellLibrary &library, StaConfig config = {})
+        : library(library), config_(config)
+    {}
+
+    /**
+     * Slice a purely combinational netlist into `stages` pipeline
+     * stages. stages == 1 returns a copy of the input unchanged.
+     * Fatal if the input already contains flops.
+     */
+    PipelineReport pipeline(const netlist::Netlist &comb,
+                            int stages) const;
+
+  private:
+    const liberty::CellLibrary &library;
+    StaConfig config_;
+};
+
+} // namespace otft::sta
+
+#endif // OTFT_STA_PIPELINE_HPP

@@ -1,0 +1,196 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace otft::sta {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+StaEngine::Propagation
+StaEngine::propagate(const Netlist &nl) const
+{
+    const std::size_t n = nl.numGates();
+    const auto fanouts = nl.fanouts();
+    const liberty::StdCell &dff_cell = library.cell("dff");
+
+    Propagation p;
+    p.arrival.assign(n, 0.0);
+    p.slew.assign(n, 0.0);
+    p.netLoad.assign(n, 0.0);
+    p.netWireDelay.assign(n, 0.0);
+    p.criticalPred.assign(n, netlist::nullGate);
+
+    // Block-span term of the wireload model: nets in a bigger block
+    // route farther.
+    double cell_area = 0.0;
+    for (const Gate &gate : nl.gates()) {
+        const char *cn = netlist::cellNameOf(gate.kind);
+        if (cn)
+            cell_area += library.cell(cn).area;
+    }
+    const double span = config_.extraSpanPerNet +
+                        config_.spanCoefficient * std::sqrt(cell_area);
+
+    // --- Per-net loads: sink pin caps + wire cap; per-net wire delay.
+    for (std::size_t g = 0; g < n; ++g) {
+        double sink_cap = 0.0;
+        for (GateId s : fanouts[g]) {
+            const Gate &sink = nl.gate(s);
+            const char *cell_name = netlist::cellNameOf(sink.kind);
+            if (cell_name)
+                sink_cap += library.cell(cell_name).inputCap;
+        }
+        const WireEstimate wire = wireModel.estimate(
+            static_cast<int>(fanouts[g].size()), sink_cap, span);
+        p.netLoad[g] = sink_cap + wire.cap;
+        p.netWireDelay[g] = wire.delay;
+    }
+
+    constexpr double neg_inf = -1.0;
+    const double launch =
+        config_.registerInputs ? dff_cell.flop.clkToQ : 0.0;
+
+    for (GateId id : nl.topoOrder()) {
+        const std::size_t g = static_cast<std::size_t>(id);
+        const Gate &gate = nl.gate(id);
+        switch (gate.kind) {
+          case GateKind::Input:
+            p.arrival[g] = launch;
+            p.slew[g] = library.defaultSlew();
+            continue;
+          case GateKind::Const0:
+          case GateKind::Const1:
+            // Constants never toggle: they impose no timing.
+            p.arrival[g] = neg_inf;
+            p.slew[g] = library.defaultSlew();
+            continue;
+          case GateKind::Dff: {
+            // Launch point: load-dependent clk->Q through the D->Q
+            // arc tables.
+            const liberty::TimingArc &arc = dff_cell.arc(0);
+            p.arrival[g] = arc.worstDelay(library.defaultSlew(),
+                                          p.netLoad[g]);
+            p.slew[g] =
+                arc.worstSlew(library.defaultSlew(), p.netLoad[g]);
+            continue;
+          }
+          default:
+            break;
+        }
+
+        const char *cell_name = netlist::cellNameOf(gate.kind);
+        const liberty::StdCell &cell = library.cell(cell_name);
+        double best = neg_inf;
+        double best_slew = library.defaultSlew();
+        GateId best_pred = netlist::nullGate;
+        for (int pin = 0; pin < cell.fanIn; ++pin) {
+            const GateId src = gate.fanin[static_cast<std::size_t>(pin)];
+            const std::size_t s = static_cast<std::size_t>(src);
+            if (p.arrival[s] < 0.0)
+                continue; // constant fanin
+            const liberty::TimingArc &arc = cell.arc(pin);
+            const double t = p.arrival[s] + p.netWireDelay[s] +
+                             arc.worstDelay(p.slew[s], p.netLoad[g]);
+            if (t > best) {
+                best = t;
+                best_slew = arc.worstSlew(p.slew[s], p.netLoad[g]);
+                best_pred = src;
+            }
+        }
+        if (best < 0.0) {
+            // All fanins constant: acts as a constant itself.
+            p.arrival[g] = neg_inf;
+            p.slew[g] = library.defaultSlew();
+        } else {
+            p.arrival[g] = best;
+            p.slew[g] = best_slew;
+            p.criticalPred[g] = best_pred;
+        }
+    }
+    return p;
+}
+
+std::vector<double>
+StaEngine::arrivalTimes(const Netlist &nl) const
+{
+    return propagate(nl).arrival;
+}
+
+StaResult
+StaEngine::analyze(const Netlist &nl) const
+{
+    const Propagation p = propagate(nl);
+    const liberty::StdCell &dff_cell = library.cell("dff");
+
+    StaResult result;
+    GateId worst_endpoint = netlist::nullGate;
+    double worst_required = 0.0;
+
+    for (GateId id : nl.dffs()) {
+        const Gate &gate = nl.gate(id);
+        const std::size_t d = static_cast<std::size_t>(gate.fanin[0]);
+        if (p.arrival[d] < 0.0)
+            continue;
+        // Capture at the D pin: data arrival + net wire + setup.
+        const double t =
+            p.arrival[d] + p.netWireDelay[d] + dff_cell.flop.setup;
+        if (t > worst_required) {
+            worst_required = t;
+            worst_endpoint = gate.fanin[0];
+        }
+        result.worstArrival = std::max(result.worstArrival, p.arrival[d]);
+    }
+
+    const double out_extra =
+        config_.registerOutputs ? dff_cell.flop.setup : 0.0;
+    for (const auto &port : nl.outputs()) {
+        const std::size_t g = static_cast<std::size_t>(port.gate);
+        if (p.arrival[g] < 0.0)
+            continue;
+        const double t = p.arrival[g] + out_extra;
+        if (t > worst_required) {
+            worst_required = t;
+            worst_endpoint = port.gate;
+        }
+        result.worstArrival = std::max(result.worstArrival, p.arrival[g]);
+    }
+
+    const double margin =
+        config_.wireEnabled
+            ? library.clockMargin()
+            : library.clockMargin() * config_.noWireMarginFraction;
+    result.minClockPeriod = worst_required + margin;
+    result.maxFrequency =
+        result.minClockPeriod > 0.0 ? 1.0 / result.minClockPeriod : 0.0;
+
+    // --- Critical path walk-back.
+    double wire_sum = 0.0;
+    for (GateId id = worst_endpoint; id != netlist::nullGate;
+         id = p.criticalPred[static_cast<std::size_t>(id)]) {
+        result.criticalPath.push_back(id);
+        wire_sum += p.netWireDelay[static_cast<std::size_t>(id)];
+    }
+    result.criticalWireDelay = wire_sum;
+
+    // --- Area and leakage.
+    for (const Gate &gate : nl.gates()) {
+        const char *cell_name = netlist::cellNameOf(gate.kind);
+        if (!cell_name)
+            continue;
+        const liberty::StdCell &cell = library.cell(cell_name);
+        result.area += cell.area;
+        result.leakage += cell.leakage;
+        ++result.cellCount;
+        if (gate.kind == GateKind::Dff)
+            ++result.flopCount;
+    }
+    return result;
+}
+
+} // namespace otft::sta

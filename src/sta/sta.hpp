@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Static timing analysis over mapped netlists.
+ *
+ * Levelized arrival/slew propagation through NLDM arcs with the
+ * fanout wireload model, reporting minimum clock period, critical
+ * path, cell area, and leakage — the framework's substitute for the
+ * Synopsys Design Compiler timing/area reports the paper uses.
+ *
+ * Register-to-register timing: paths launch at DFF outputs (through
+ * the load-dependent clk->Q arc) or primary inputs, and capture at
+ * DFF D pins (plus setup) or primary outputs; by default inputs and
+ * outputs are assumed registered in the enclosing context so that
+ * block-level numbers compose. The clock margin (skew + jitter) is
+ * charged once per cycle.
+ */
+
+#ifndef OTFT_STA_STA_HPP
+#define OTFT_STA_STA_HPP
+
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/wire.hpp"
+
+namespace otft::sta {
+
+/** Analysis controls. */
+struct StaConfig
+{
+    /** Include wire cap/delay (false reproduces Fig. 15 w/o wire). */
+    bool wireEnabled = true;
+    /**
+     * Extra routed span added to every net, meters. Used by the core
+     * synthesizer to model the longer cross-block wires of wider
+     * superscalar layouts.
+     */
+    double extraSpanPerNet = 0.0;
+    /** Treat primary inputs as launched by registers (clk->Q). */
+    bool registerInputs = true;
+    /** Treat primary outputs as captured by registers (+setup). */
+    bool registerOutputs = true;
+    /**
+     * Fraction of the library clock margin charged when the wire
+     * model is disabled. Clock skew is wire RC; with ideal wires only
+     * the jitter floor remains.
+     */
+    double noWireMarginFraction = 0.2;
+    /**
+     * Wireload block-span scaling: every net additionally routes
+     * spanCoefficient * sqrt(total cell area), the classic block-size
+     * dependence of synthesis wireload models. Bigger blocks (wider
+     * cores, deeper pipelines with their added register ranks) get
+     * slower wires — the feedback that saturates silicon pipelining
+     * while leaving organic (gate-dominated) timing untouched.
+     */
+    double spanCoefficient = 0.15;
+};
+
+/** Timing/area report for one netlist under one library. */
+struct StaResult
+{
+    /** Minimum clock period, seconds (includes clock margin). */
+    double minClockPeriod = 0.0;
+    /** Maximum frequency = 1 / minClockPeriod, hertz. */
+    double maxFrequency = 0.0;
+    /** Worst endpoint data arrival (excludes setup/margin), s. */
+    double worstArrival = 0.0;
+    /** Total cell area, m^2. */
+    double area = 0.0;
+    /** Total leakage/static power, watts. */
+    double leakage = 0.0;
+    /** Number of cells (excluding inputs/constants). */
+    std::size_t cellCount = 0;
+    /** Number of DFFs. */
+    std::size_t flopCount = 0;
+    /** Gates on the critical path, endpoint first. */
+    std::vector<netlist::GateId> criticalPath;
+    /** Total wire delay along the critical path, seconds. */
+    double criticalWireDelay = 0.0;
+};
+
+/** The timing engine, bound to one library. */
+class StaEngine
+{
+  public:
+    StaEngine(const liberty::CellLibrary &library, StaConfig config = {})
+        : library(library), config_(config),
+          wireModel(library.wire(), config.wireEnabled)
+    {}
+
+    /** Analyze a netlist. */
+    StaResult analyze(const netlist::Netlist &netlist) const;
+
+    /**
+     * Data arrival time at every gate output (negative for gates that
+     * never toggle, i.e. constant cones). Used by the pipeliner to
+     * find delay-balanced cut points.
+     */
+    std::vector<double> arrivalTimes(const netlist::Netlist &nl) const;
+
+    const StaConfig &config() const { return config_; }
+    const liberty::CellLibrary &lib() const { return library; }
+
+  private:
+    struct Propagation
+    {
+        std::vector<double> arrival;
+        std::vector<double> slew;
+        std::vector<double> netLoad;
+        std::vector<double> netWireDelay;
+        std::vector<netlist::GateId> criticalPred;
+    };
+
+    Propagation propagate(const netlist::Netlist &nl) const;
+
+    const liberty::CellLibrary &library;
+    StaConfig config_;
+    WireModel wireModel;
+};
+
+} // namespace otft::sta
+
+#endif // OTFT_STA_STA_HPP

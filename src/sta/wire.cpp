@@ -1,0 +1,24 @@
+#include "sta/wire.hpp"
+
+namespace otft::sta {
+
+WireEstimate
+WireModel::estimate(int fanout, double sink_cap, double extra_span) const
+{
+    WireEstimate e;
+    if (!enabled || fanout <= 0)
+        return e;
+
+    e.length = params.lengthBase +
+               params.lengthPerFanout * static_cast<double>(fanout) +
+               extra_span;
+    e.cap = params.capPerMeter * e.length;
+
+    const double r_wire = params.resPerMeter * e.length;
+    // Elmore: the driver sees the full wire + sinks through the wire
+    // resistance distributed along the net (lumped pi approximation).
+    e.delay = r_wire * (0.5 * e.cap + sink_cap);
+    return e;
+}
+
+} // namespace otft::sta

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fanout-based wireload model with Elmore delay.
+ *
+ * Net length is estimated from fanout (plus an optional block-span
+ * term for large blocks), giving a wire capacitance that adds to the
+ * driven pin loads and an Elmore RC delay charged once per net. The
+ * ratio of this wire delay to gate delay is the central quantity of
+ * the paper: organic gates are about six orders of magnitude slower
+ * than silicon gates while the wires are comparable, so organic wire
+ * cost is negligible — which is what makes deeper and wider organic
+ * cores win (paper Sec. 5.5). The model can be disabled wholesale to
+ * reproduce the "w/o wire" series of Fig. 15.
+ */
+
+#ifndef OTFT_STA_WIRE_HPP
+#define OTFT_STA_WIRE_HPP
+
+#include "liberty/library.hpp"
+
+namespace otft::sta {
+
+/** Wire contribution of one net. */
+struct WireEstimate
+{
+    /** Estimated routed length, meters. */
+    double length = 0.0;
+    /** Wire capacitance added to the net load, farads. */
+    double cap = 0.0;
+    /** Elmore wire delay charged once per net, seconds. */
+    double delay = 0.0;
+};
+
+/** Wireload estimator bound to one library's interconnect params. */
+class WireModel
+{
+  public:
+    /**
+     * @param params the library's interconnect constants
+     * @param enabled false = zero wire cost everywhere (Fig. 15)
+     */
+    explicit WireModel(const liberty::WireParams &params,
+                       bool enabled = true)
+        : params(params), enabled(enabled)
+    {}
+
+    /**
+     * Estimate one net.
+     * @param fanout number of driven pins
+     * @param sink_cap total driven pin capacitance, farads
+     * @param extra_span additional routed length (block span), meters
+     */
+    WireEstimate estimate(int fanout, double sink_cap,
+                          double extra_span = 0.0) const;
+
+    bool isEnabled() const { return enabled; }
+
+  private:
+    liberty::WireParams params;
+    bool enabled;
+};
+
+} // namespace otft::sta
+
+#endif // OTFT_STA_WIRE_HPP

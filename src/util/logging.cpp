@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace otft {
+
+namespace {
+
+bool quietFlag = false;
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+emitPanic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace otft

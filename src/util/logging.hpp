@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() reports a user-caused condition
+ * (bad configuration, invalid arguments) and throws a recoverable
+ * exception; panic() reports a framework bug and aborts. inform() and
+ * warn() print status without interrupting the run.
+ */
+
+#ifndef OTFT_UTIL_LOGGING_HPP
+#define OTFT_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace otft {
+
+/** Exception thrown by fatal() for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Fold a parameter pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+void emitInform(const std::string &msg);
+void emitWarn(const std::string &msg);
+[[noreturn]] void emitFatal(const std::string &msg);
+[[noreturn]] void emitPanic(const std::string &msg);
+
+} // namespace detail
+
+/** Print an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a user-caused error (bad configuration or arguments) and throw
+ * FatalError. Callers that can recover may catch it; main() typically
+ * lets it terminate the program with an error message.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report an internal framework bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Suppress inform()/warn() output (used by tests to keep logs clean). */
+void setQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool isQuiet();
+
+} // namespace otft
+
+#endif // OTFT_UTIL_LOGGING_HPP

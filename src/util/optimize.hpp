@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Derivative-free minimization: Nelder-Mead simplex for multi-parameter
+ * fits (device model fitting, cell sizing) and golden-section search for
+ * one-dimensional problems.
+ */
+
+#ifndef OTFT_UTIL_OPTIMIZE_HPP
+#define OTFT_UTIL_OPTIMIZE_HPP
+
+#include <functional>
+#include <vector>
+
+namespace otft {
+
+/** Objective over a parameter vector; smaller is better. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Options controlling the Nelder-Mead search. */
+struct NelderMeadOptions
+{
+    /** Maximum number of objective evaluations. */
+    int maxEvals = 2000;
+    /** Stop when the simplex value spread falls below this. */
+    double tolerance = 1e-10;
+    /** Initial simplex size as a fraction of each parameter (min 1e-4). */
+    double initialScale = 0.1;
+};
+
+/** Result of a minimization. */
+struct OptimizeResult
+{
+    std::vector<double> x;
+    double value = 0.0;
+    int evals = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimize the objective starting from x0 with the Nelder-Mead simplex
+ * method (reflection / expansion / contraction / shrink).
+ */
+OptimizeResult nelderMead(const Objective &objective,
+                          std::vector<double> x0,
+                          const NelderMeadOptions &options = {});
+
+/**
+ * Golden-section minimization of a unimodal 1-D function on [lo, hi].
+ * @return the minimizing x to within tol.
+ */
+double goldenSection(const std::function<double(double)> &f, double lo,
+                     double hi, double tol = 1e-9);
+
+} // namespace otft
+
+#endif // OTFT_UTIL_OPTIMIZE_HPP

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * The framework never uses std::random_device or global state: every
+ * stochastic component (process variation, measurement noise, workload
+ * trace synthesis) owns an Rng seeded explicitly, so experiments are
+ * reproducible bit-for-bit across runs and platforms.
+ */
+
+#ifndef OTFT_UTIL_RNG_HPP
+#define OTFT_UTIL_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace otft {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Small, fast, and with
+ * well-understood statistical quality; state is four 64-bit words.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+        return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+    }
+
+    /** @return standard normal deviate (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        constexpr double two_pi = 6.283185307179586476925286766559;
+        spare = mag * std::sin(two_pi * u2);
+        haveSpare = true;
+        return mag * std::cos(two_pi * u2);
+    }
+
+    /** @return normal deviate with the given mean and std deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /** @return true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1).
+     * Used for dependency distances and run lengths in trace synthesis.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        double u = 0.0;
+        while (u <= 1e-300)
+            u = uniform();
+        const double v = std::log(u) / std::log(1.0 - p);
+        return 1 + static_cast<std::uint64_t>(v);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+    double spare = 0.0;
+    bool haveSpare = false;
+};
+
+} // namespace otft
+
+#endif // OTFT_UTIL_RNG_HPP

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace otft {
+
+LineFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        fatal("fitLine: size mismatch (", xs.size(), " vs ", ys.size(), ")");
+    if (xs.size() < 2)
+        fatal("fitLine: need at least two points, got ", xs.size());
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300)
+        fatal("fitLine: degenerate x values (all equal)");
+
+    LineFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot <= 0.0) {
+        fit.r2 = 1.0;
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - fit.eval(xs[i]);
+            ss_res += e * e;
+        }
+        fit.r2 = 1.0 - ss_res / ss_tot;
+    }
+    return fit;
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        fatal("mean: empty input");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+maxValue(std::span<const double> xs)
+{
+    if (xs.empty())
+        fatal("maxValue: empty input");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+interpolate(std::span<const double> xs, std::span<const double> ys, double x)
+{
+    if (xs.size() != ys.size() || xs.empty())
+        fatal("interpolate: bad inputs");
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    // Binary search for the bracketing segment.
+    auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+std::vector<double>
+findCrossings(std::span<const double> xs, std::span<const double> ys,
+              double level)
+{
+    if (xs.size() != ys.size())
+        fatal("findCrossings: size mismatch");
+    std::vector<double> out;
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+        const double a = ys[i] - level;
+        const double b = ys[i + 1] - level;
+        if (a == 0.0) {
+            out.push_back(xs[i]);
+        } else if (a * b < 0.0) {
+            const double t = a / (a - b);
+            out.push_back(xs[i] + t * (xs[i + 1] - xs[i]));
+        }
+    }
+    if (!ys.empty() && ys.back() == level)
+        out.push_back(xs.back());
+    return out;
+}
+
+std::vector<double>
+gradient(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        fatal("gradient: need >= 2 samples");
+    const std::size_t n = xs.size();
+    std::vector<double> g(n);
+    g[0] = (ys[1] - ys[0]) / (xs[1] - xs[0]);
+    g[n - 1] = (ys[n - 1] - ys[n - 2]) / (xs[n - 1] - xs[n - 2]);
+    for (std::size_t i = 1; i + 1 < n; ++i)
+        g[i] = (ys[i + 1] - ys[i - 1]) / (xs[i + 1] - xs[i - 1]);
+    return g;
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    if (n < 2)
+        fatal("linspace: need n >= 2, got ", n);
+    std::vector<double> out(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+} // namespace otft

@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace otft {
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(std::string cell)
+{
+    if (rows.empty())
+        fatal("Table::add called before Table::row");
+    rows.back().push_back(std::move(cell));
+    return *this;
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    return add(formatNumber(value, precision));
+}
+
+Table &
+Table::add(long long value)
+{
+    return add(std::to_string(value));
+}
+
+void
+Table::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << s;
+            if (c + 1 < widths.size())
+                os << std::string(widths[c] - s.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+void
+Table::renderCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_row(headers);
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+std::string
+formatNumber(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    return buf;
+}
+
+std::string
+formatSi(double value, const std::string &unit, int precision)
+{
+    struct Prefix { double scale; const char *symbol; };
+    static const Prefix prefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+        {1e-15, "f"}, {1e-18, "a"},
+    };
+    if (value == 0.0)
+        return "0 " + unit;
+    const double mag = std::abs(value);
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale) {
+            return formatNumber(value / p.scale, precision) + " " +
+                   p.symbol + unit;
+        }
+    }
+    return formatNumber(value, precision) + " " + unit;
+}
+
+} // namespace otft

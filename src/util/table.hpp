@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering used by the benchmark harnesses to
+ * print paper-style rows/series, and by examples for human-readable
+ * reports.
+ */
+
+#ifndef OTFT_UTIL_TABLE_HPP
+#define OTFT_UTIL_TABLE_HPP
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace otft {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * convenience setters format with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &add(std::string cell);
+
+    /** Append a formatted numeric cell (printf-style %.*g). */
+    Table &add(double value, int precision = 4);
+
+    /** Append an integer cell. */
+    Table &add(long long value);
+
+    /** Render with aligned columns to the stream. */
+    void render(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void renderCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double like printf("%.*g"). */
+std::string formatNumber(double value, int precision = 4);
+
+/**
+ * Format a value in engineering notation with an SI prefix, e.g.
+ * 1.36e9 -> "1.36 GHz" when unit == "Hz". Covers a (atto) to T (tera).
+ */
+std::string formatSi(double value, const std::string &unit,
+                     int precision = 3);
+
+} // namespace otft
+
+#endif // OTFT_UTIL_TABLE_HPP

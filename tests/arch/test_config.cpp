@@ -1,0 +1,68 @@
+/** @file Unit tests for the core configuration. */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hpp"
+
+namespace otft::arch {
+namespace {
+
+TEST(CoreConfig, BaselineIsNineStages)
+{
+    const auto config = baselineConfig();
+    EXPECT_EQ(config.totalStages(), 9);
+    EXPECT_EQ(config.fetchWidth, 1);
+    EXPECT_EQ(config.backendWidth(), 3);
+    EXPECT_EQ(config.aluPipes, 1);
+}
+
+TEST(CoreConfig, DepthAccessorsConsistent)
+{
+    auto config = baselineConfig();
+    const int front = config.frontEndDepth();
+    const int resolve = config.branchResolutionDepth();
+    EXPECT_GT(resolve, front);
+    EXPECT_LE(resolve, config.totalStages());
+
+    config.stagesIn(Region::Fetch) += 2;
+    EXPECT_EQ(config.frontEndDepth(), front + 2);
+    EXPECT_EQ(config.branchResolutionDepth(), resolve + 2);
+    EXPECT_EQ(config.totalStages(), 11);
+}
+
+TEST(CoreConfig, WakeupPenaltyFromIssueDepth)
+{
+    auto config = baselineConfig();
+    EXPECT_EQ(config.wakeupPenalty(), 0);
+    config.stagesIn(Region::Issue) = 3;
+    EXPECT_EQ(config.wakeupPenalty(), 2);
+}
+
+TEST(CoreConfig, AluLatencyTracksExecuteDepth)
+{
+    auto config = baselineConfig();
+    EXPECT_EQ(config.aluLatency(), 1);
+    config.stagesIn(Region::Execute) = 3;
+    EXPECT_EQ(config.aluLatency(), 3);
+}
+
+TEST(CoreConfig, DescribeMentionsWidthsAndDepth)
+{
+    auto config = baselineConfig();
+    config.fetchWidth = 4;
+    config.aluPipes = 3;
+    const auto s = config.describe();
+    EXPECT_NE(s.find("fe4"), std::string::npos);
+    EXPECT_NE(s.find("be5"), std::string::npos);
+    EXPECT_NE(s.find("9st"), std::string::npos);
+}
+
+TEST(CoreConfig, RegionNames)
+{
+    EXPECT_STREQ(toString(Region::Fetch), "fetch");
+    EXPECT_STREQ(toString(Region::Issue), "issue");
+    EXPECT_STREQ(toString(Region::Retire), "retire");
+}
+
+} // namespace
+} // namespace otft::arch

@@ -1,0 +1,154 @@
+/** @file Tests for the cycle-level out-of-order core model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/core.hpp"
+#include "util/logging.hpp"
+
+namespace otft::arch {
+namespace {
+
+SimStats
+simulate(const CoreConfig &config, const std::string &workload,
+         std::uint64_t instructions = 40000)
+{
+    auto profile = workload::profileByName(workload);
+    workload::TraceGenerator gen(profile, 7);
+    CoreModel core(config, gen);
+    return core.run(instructions, 8000);
+}
+
+TEST(CoreModel, IpcInPhysicalRange)
+{
+    const auto stats = simulate(baselineConfig(), "gzip");
+    EXPECT_GT(stats.ipc(), 0.05);
+    // Single-issue front end can never exceed IPC 1.
+    EXPECT_LE(stats.ipc(), 1.0);
+    EXPECT_EQ(stats.instructions, 40000u);
+}
+
+TEST(CoreModel, WiderFrontEndRaisesIpc)
+{
+    auto narrow = baselineConfig();
+    auto wide = baselineConfig();
+    wide.fetchWidth = 4;
+    wide.aluPipes = 3;
+    const auto s_narrow = simulate(narrow, "dhrystone");
+    const auto s_wide = simulate(wide, "dhrystone");
+    EXPECT_GT(s_wide.ipc(), 1.15 * s_narrow.ipc());
+}
+
+TEST(CoreModel, DeeperFrontEndLowersIpc)
+{
+    auto shallow = baselineConfig();
+    shallow.fetchWidth = 2;
+    shallow.aluPipes = 2;
+    auto deep = shallow;
+    deep.stagesIn(Region::Fetch) += 3;
+    deep.stagesIn(Region::Decode) += 2;
+    const auto s_shallow = simulate(shallow, "gzip");
+    const auto s_deep = simulate(deep, "gzip");
+    EXPECT_LT(s_deep.ipc(), s_shallow.ipc());
+}
+
+TEST(CoreModel, WakeupPenaltyLowersIpc)
+{
+    auto fast = baselineConfig();
+    fast.fetchWidth = 2;
+    fast.aluPipes = 2;
+    auto slow = fast;
+    slow.stagesIn(Region::Issue) = 3;
+    EXPECT_LT(simulate(slow, "gzip").ipc(),
+              simulate(fast, "gzip").ipc());
+}
+
+TEST(CoreModel, McfIsMemoryBound)
+{
+    const auto mcf = simulate(baselineConfig(), "mcf");
+    const auto dhry = simulate(baselineConfig(), "dhrystone");
+    EXPECT_LT(mcf.ipc(), 0.4 * dhry.ipc());
+    EXPECT_GT(mcf.l2Misses, dhry.l2Misses * 4);
+}
+
+TEST(CoreModel, BranchStatsPopulated)
+{
+    const auto stats = simulate(baselineConfig(), "parser");
+    EXPECT_GT(stats.branches, 0u);
+    EXPECT_GT(stats.mispredicts, 0u);
+    EXPECT_LT(stats.mispredictRate(), 0.5);
+    EXPECT_GT(stats.loads, 0u);
+    EXPECT_GT(stats.stores, 0u);
+}
+
+TEST(CoreModel, DeterministicForSameSeedAndConfig)
+{
+    const auto a = simulate(baselineConfig(), "bzip", 20000);
+    const auto b = simulate(baselineConfig(), "bzip", 20000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+}
+
+TEST(CoreModel, RejectsInvalidWidths)
+{
+    auto config = baselineConfig();
+    config.fetchWidth = 0;
+    auto profile = workload::profileByName("gzip");
+    workload::TraceGenerator gen(profile, 7);
+    EXPECT_THROW(CoreModel(config, gen), FatalError);
+}
+
+TEST(CoreModel, ZeroWarmupWorks)
+{
+    auto profile = workload::profileByName("gzip");
+    workload::TraceGenerator gen(profile, 7);
+    CoreModel core(baselineConfig(), gen);
+    const auto stats = core.run(5000, 0);
+    EXPECT_EQ(stats.instructions, 5000u);
+    EXPECT_GT(stats.cycles, 5000u);
+}
+
+/** Sweep: every paper workload runs on a mid-size config. */
+class AllWorkloadsRun : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllWorkloadsRun, ProducesPlausibleIpc)
+{
+    auto config = baselineConfig();
+    config.fetchWidth = 2;
+    config.aluPipes = 2;
+    const auto stats = simulate(config, GetParam(), 30000);
+    EXPECT_GT(stats.ipc(), 0.03) << GetParam();
+    EXPECT_LT(stats.ipc(), 2.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllWorkloadsRun,
+                         ::testing::Values("bzip", "gap", "gzip",
+                                           "mcf", "parser", "vortex",
+                                           "dhrystone"));
+
+/** Sweep: IPC monotonically non-increasing as mispredict penalty
+ *  regions deepen. */
+class DepthIpc : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DepthIpc, FrontDepthHurts)
+{
+    auto config = baselineConfig();
+    config.fetchWidth = 2;
+    config.aluPipes = 2;
+    config.stagesIn(Region::Fetch) = GetParam();
+    const auto stats = simulate(config, "gzip");
+    // Compare against one stage deeper.
+    auto deeper = config;
+    deeper.stagesIn(Region::Fetch) = GetParam() + 2;
+    const auto deep_stats = simulate(deeper, "gzip");
+    EXPECT_LE(deep_stats.ipc(), stats.ipc() * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthIpc,
+                         ::testing::Values(2, 3, 4, 5));
+
+} // namespace
+} // namespace otft::arch

@@ -1,0 +1,118 @@
+/** @file Tests for the dynamic-logic extension cells. */
+
+#include <gtest/gtest.h>
+
+#include "cells/topologies.hpp"
+#include "circuit/transient.hpp"
+#include "util/logging.hpp"
+
+namespace otft::cells {
+namespace {
+
+TEST(DynamicGate, HalfTheTransistors)
+{
+    CellFactory factory;
+    // The paper's Sec. 7 claim: roughly half the devices.
+    EXPECT_EQ(factory.dynamicGate(2).transistorCount, 3);
+    EXPECT_EQ(factory.nand(2).transistorCount, 6);
+    EXPECT_EQ(factory.dynamicGate(3).transistorCount, 4);
+    EXPECT_EQ(factory.nand(3).transistorCount, 8);
+}
+
+TEST(DynamicGate, PrechargeThenEvaluate)
+{
+    CellFactory factory;
+    auto cell = factory.dynamicGate(2, factory.inputCap());
+    const double vdd = factory.supply().vdd;
+    auto &ckt = cell.ckt;
+
+    // Phase 1 (to 0.4 ms): clock low (-5 V) precharges OUT to 0 with
+    // inputs high. Phase 2: clock off, input A falls -> OUT rises.
+    ckt.setSourceWave(cell.inputSources[0],
+                      circuit::Pwl::points({0.0, 0.6e-3, 0.61e-3},
+                                           {vdd, vdd, 0.0}));
+    ckt.setSourceWave(cell.inputSources[1],
+                      circuit::Pwl::constant(vdd));
+    ckt.setSourceWave(cell.inputSources.back(),
+                      circuit::Pwl::points({0.0, 0.4e-3, 0.41e-3},
+                                           {-5.0, -5.0, vdd}));
+
+    circuit::TransientConfig config;
+    config.dt = 2e-6;
+    config.tStop = 1.2e-3;
+    circuit::TransientAnalysis tran(ckt);
+    const auto result = tran.run(config);
+    const auto out = result.node(cell.out);
+
+    EXPECT_LT(out.at(0.35e-3), 0.15 * vdd); // precharged low
+    EXPECT_LT(out.at(0.58e-3), 0.2 * vdd);  // holds before evaluate
+    EXPECT_GT(out.at(1.1e-3), 0.8 * vdd);   // evaluated high
+}
+
+TEST(DynamicGate, EvaluatesFasterThanStatic)
+{
+    // The paper: "switching time can be faster". Compare the dynamic
+    // evaluate edge against the static pseudo-E rising edge at equal
+    // load.
+    CellFactory factory;
+    const double vdd = factory.supply().vdd;
+    const double load = factory.inputCap();
+
+    double dynamic_delay = 0.0;
+    {
+        auto cell = factory.dynamicGate(2, load);
+        auto &ckt = cell.ckt;
+        ckt.setSourceWave(
+            cell.inputSources[0],
+            circuit::Pwl::points({0.0, 0.6e-3, 0.605e-3},
+                                 {vdd, vdd, 0.0}));
+        ckt.setSourceWave(cell.inputSources[1],
+                          circuit::Pwl::constant(vdd));
+        ckt.setSourceWave(
+            cell.inputSources.back(),
+            circuit::Pwl::points({0.0, 0.4e-3, 0.405e-3},
+                                 {-5.0, -5.0, vdd}));
+        circuit::TransientConfig config;
+        config.dt = 1e-6;
+        config.tStop = 1.4e-3;
+        const auto result =
+            circuit::TransientAnalysis(ckt).run(config);
+        dynamic_delay = circuit::measureDelay(
+            result.node(cell.inputs[0]), result.node(cell.out), 0.0,
+            vdd, false, 0.0, vdd, true, 0.5e-3);
+    }
+
+    double static_delay = 0.0;
+    {
+        auto cell = factory.nand(2, load);
+        auto &ckt = cell.ckt;
+        ckt.setSourceWave(
+            cell.inputSources[0],
+            circuit::Pwl::points({0.0, 0.6e-3, 0.605e-3},
+                                 {vdd, vdd, 0.0}));
+        ckt.setSourceWave(cell.inputSources[1],
+                          circuit::Pwl::constant(vdd));
+        circuit::TransientConfig config;
+        config.dt = 1e-6;
+        config.tStop = 1.4e-3;
+        const auto result =
+            circuit::TransientAnalysis(ckt).run(config);
+        static_delay = circuit::measureDelay(
+            result.node(cell.inputs[0]), result.node(cell.out), 0.0,
+            vdd, false, 0.0, vdd, true, 0.5e-3);
+    }
+
+    ASSERT_GT(dynamic_delay, 0.0);
+    ASSERT_GT(static_delay, 0.0);
+    EXPECT_LT(dynamic_delay, static_delay);
+}
+
+TEST(DynamicGate, RejectsBadFanIn)
+{
+    CellFactory factory;
+    EXPECT_THROW(factory.dynamicGate(0), FatalError);
+    EXPECT_THROW(factory.dynamicGate(4), FatalError);
+}
+
+} // namespace
+} // namespace otft::cells

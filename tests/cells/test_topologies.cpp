@@ -1,0 +1,200 @@
+/** @file Unit tests for the organic standard cell topologies. */
+
+#include <gtest/gtest.h>
+
+#include "cells/topologies.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/transient.hpp"
+#include "util/logging.hpp"
+
+namespace otft::cells {
+namespace {
+
+/** Solve a cell's DC output for given input levels. */
+double
+dcOut(BuiltCell &cell, const std::vector<double> &inputs)
+{
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        cell.ckt.setSourceWave(cell.inputSources[i],
+                               circuit::Pwl::constant(inputs[i]));
+    circuit::DcAnalysis dc(cell.ckt);
+    return dc.nodeVoltage(dc.operatingPoint(), cell.out);
+}
+
+class Topologies : public ::testing::Test
+{
+  protected:
+    CellFactory factory;
+    double vdd = factory.supply().vdd;
+    double mid = 0.5 * factory.supply().vdd;
+};
+
+TEST_F(Topologies, PseudoEInverterInverts)
+{
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    EXPECT_GT(dcOut(cell, {0.0}), 0.9 * vdd);
+    EXPECT_LT(dcOut(cell, {vdd}), 0.15 * vdd);
+}
+
+TEST_F(Topologies, DiodeLoadInverterRatioedLevels)
+{
+    auto cell = factory.inverter(InverterKind::DiodeLoad);
+    const double high = dcOut(cell, {0.0});
+    const double low = dcOut(cell, {vdd});
+    EXPECT_GT(high, low);
+    // Ratioed: neither level reaches the rail.
+    EXPECT_LT(high, vdd);
+    EXPECT_GT(low, 0.0);
+}
+
+TEST_F(Topologies, BiasedLoadPullsLowerThanDiode)
+{
+    auto diode = factory.inverter(InverterKind::DiodeLoad);
+    auto biased = factory.inverter(InverterKind::BiasedLoad);
+    EXPECT_LT(dcOut(biased, {vdd}), dcOut(diode, {vdd}));
+}
+
+TEST_F(Topologies, Nand2TruthTable)
+{
+    auto cell = factory.nand(2);
+    EXPECT_GT(dcOut(cell, {0.0, 0.0}), mid);
+    EXPECT_GT(dcOut(cell, {0.0, vdd}), mid);
+    EXPECT_GT(dcOut(cell, {vdd, 0.0}), mid);
+    EXPECT_LT(dcOut(cell, {vdd, vdd}), mid);
+}
+
+TEST_F(Topologies, Nand3TruthTable)
+{
+    auto cell = factory.nand(3);
+    EXPECT_GT(dcOut(cell, {vdd, vdd, 0.0}), mid);
+    EXPECT_LT(dcOut(cell, {vdd, vdd, vdd}), mid);
+}
+
+TEST_F(Topologies, Nor2TruthTable)
+{
+    auto cell = factory.nor(2);
+    EXPECT_GT(dcOut(cell, {0.0, 0.0}), mid);
+    EXPECT_LT(dcOut(cell, {0.0, vdd}), mid);
+    EXPECT_LT(dcOut(cell, {vdd, 0.0}), mid);
+    EXPECT_LT(dcOut(cell, {vdd, vdd}), mid);
+}
+
+TEST_F(Topologies, Nor3TruthTable)
+{
+    auto cell = factory.nor(3);
+    EXPECT_GT(dcOut(cell, {0.0, 0.0, 0.0}), mid);
+    EXPECT_LT(dcOut(cell, {0.0, 0.0, vdd}), mid);
+}
+
+TEST_F(Topologies, TransistorCounts)
+{
+    // Pseudo-E gates: fan-in drive+shift pairs + diode + load.
+    EXPECT_EQ(factory.inverter(InverterKind::PseudoE).transistorCount,
+              4);
+    EXPECT_EQ(factory.inverter(InverterKind::DiodeLoad).transistorCount,
+              2);
+    EXPECT_EQ(factory.nand(2).transistorCount, 6);
+    EXPECT_EQ(factory.nand(3).transistorCount, 8);
+    EXPECT_EQ(factory.nor(2).transistorCount, 6);
+    EXPECT_EQ(factory.nor(3).transistorCount, 8);
+    // Six NAND3-style gates.
+    EXPECT_EQ(factory.dff().transistorCount, 6 * 8);
+}
+
+TEST_F(Topologies, AreaAccountingConsistent)
+{
+    const auto inv = factory.inverter(InverterKind::PseudoE);
+    EXPECT_GT(inv.activeArea, 0.0);
+    EXPECT_DOUBLE_EQ(inv.cellArea,
+                     inv.activeArea * factory.sizing().routingFactor);
+    // NAND3 strictly bigger than NAND2 bigger than INV.
+    EXPECT_GT(factory.nand(3).activeArea, factory.nand(2).activeArea);
+    EXPECT_GT(factory.nand(2).activeArea, inv.activeArea);
+}
+
+TEST_F(Topologies, InputCapPositiveAndPlausible)
+{
+    const double cap = factory.inputCap();
+    EXPECT_GT(cap, 1e-12);
+    EXPECT_LT(cap, 1e-9);
+}
+
+TEST_F(Topologies, BadFanInIsFatal)
+{
+    EXPECT_THROW(factory.nand(4), FatalError);
+    EXPECT_THROW(factory.nor(1), FatalError);
+}
+
+TEST_F(Topologies, DffCapturesOnRisingEdge)
+{
+    // Clear, then present D=1 and clock: Q must go high; then D=0 and
+    // clock again: Q must go low.
+    auto cell = factory.dff();
+    auto &ckt = cell.ckt;
+    const double v = vdd;
+    // PREbar high always; CLRbar low pulse to initialize.
+    ckt.setSourceWave(cell.inputSources[2], circuit::Pwl::constant(v));
+    ckt.setSourceWave(cell.inputSources[3],
+                      circuit::Pwl::points({0.0, 0.3e-3, 0.32e-3},
+                                           {0.0, 0.0, v}));
+    // D: high before first edge, low before second.
+    ckt.setSourceWave(
+        cell.inputSources[0],
+        circuit::Pwl::points({0.0, 0.6e-3, 0.61e-3, 2.6e-3, 2.61e-3},
+                             {0.0, 0.0, v, v, 0.0}));
+    // CK: edges at 1.6 ms and 3.6 ms.
+    ckt.setSourceWave(
+        cell.inputSources[1],
+        circuit::Pwl::points({0.0, 1.6e-3, 1.61e-3, 2.4e-3, 2.41e-3,
+                              3.6e-3, 3.61e-3},
+                             {0.0, 0.0, v, v, 0.0, 0.0, v}));
+
+    circuit::TransientConfig config;
+    config.dt = 8e-6;
+    config.tStop = 5.2e-3;
+    circuit::TransientAnalysis tran(ckt);
+    const auto result = tran.run(config);
+    const auto q = result.node(cell.out);
+
+    EXPECT_LT(q.at(1.5e-3), 0.3 * v);  // cleared before first edge
+    EXPECT_GT(q.at(2.35e-3), 0.7 * v); // captured the 1
+    EXPECT_LT(q.at(5.1e-3), 0.3 * v);  // captured the 0
+}
+
+/** Sweep: every pseudo-E cell achieves strong logic levels. */
+class CellLevels : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CellLevels, OutputSwingAboveHalfVdd)
+{
+    CellFactory factory;
+    const std::string name = GetParam();
+    BuiltCell cell = name == "inv"
+                         ? factory.inverter(InverterKind::PseudoE)
+                         : (name == "nand2"
+                                ? factory.nand(2)
+                                : (name == "nand3"
+                                       ? factory.nand(3)
+                                       : (name == "nor2"
+                                              ? factory.nor(2)
+                                              : factory.nor(3))));
+    const double vdd = factory.supply().vdd;
+    const bool is_nor = name.rfind("nor", 0) == 0;
+    const double side = is_nor ? 0.0 : vdd;
+
+    std::vector<double> low_in(cell.inputs.size(), side);
+    std::vector<double> high_in(cell.inputs.size(), side);
+    low_in[0] = 0.0;
+    high_in[0] = vdd;
+    const double out_high = dcOut(cell, low_in);
+    const double out_low = dcOut(cell, high_in);
+    EXPECT_GT(out_high - out_low, 0.5 * vdd) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SixCells, CellLevels,
+                         ::testing::Values("inv", "nand2", "nand3",
+                                           "nor2", "nor3"));
+
+} // namespace
+} // namespace otft::cells

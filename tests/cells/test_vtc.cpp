@@ -1,0 +1,138 @@
+/** @file Unit tests for VTC analysis (paper Figs. 6-8 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace otft::cells {
+namespace {
+
+TEST(Vtc, PseudoEBeatsDiodeLoad)
+{
+    // The paper's Fig. 6 ordering: pseudo-E gain and noise margins
+    // dominate the simple loads.
+    cells::SupplyConfig supply{15.0, -15.0};
+    CellFactory pseudo_factory(device::Level61Params{}, CellSizing{},
+                               supply);
+    cells::SupplyConfig diode_supply{15.0, 0.0};
+    CellFactory diode_factory(device::Level61Params{}, CellSizing{},
+                              diode_supply);
+
+    VtcAnalyzer analyzer(101);
+    auto pe_cell = pseudo_factory.inverter(InverterKind::PseudoE);
+    auto dl_cell = diode_factory.inverter(InverterKind::DiodeLoad);
+    const auto pe = analyzer.analyze(pe_cell);
+    const auto dl = analyzer.analyze(dl_cell);
+
+    EXPECT_GT(pe.maxGain, 2.0 * dl.maxGain);
+    EXPECT_GT(pe.nmh, dl.nmh);
+    EXPECT_GT(pe.nml, dl.nml);
+    EXPECT_GT(pe.voh, dl.voh);
+    EXPECT_LT(pe.vol, dl.vol);
+}
+
+TEST(Vtc, SwitchingThresholdOnMirror)
+{
+    CellFactory factory;
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(151);
+    const auto r = analyzer.analyze(cell);
+    // VM is where VOUT == VIN.
+    EXPECT_NEAR(interpolate(r.vin, r.vout, r.vm), r.vm, 0.05);
+    EXPECT_GT(r.vm, 0.0);
+    EXPECT_LT(r.vm, factory.supply().vdd);
+}
+
+TEST(Vtc, MonotoneDecreasing)
+{
+    CellFactory factory;
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(101);
+    const auto r = analyzer.analyze(cell);
+    for (std::size_t i = 1; i < r.vout.size(); ++i)
+        EXPECT_LE(r.vout[i], r.vout[i - 1] + 1e-6);
+}
+
+TEST(Vtc, StaticPowerPositiveAndAsymmetric)
+{
+    CellFactory factory;
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(61);
+    const auto r = analyzer.analyze(cell);
+    // Level-shifter current dominates when the input is low.
+    EXPECT_GT(r.staticPowerLow, r.staticPowerHigh);
+    EXPECT_GT(r.staticPowerHigh, 0.0);
+}
+
+TEST(Vtc, MecMarginsNotLargerThanHalfSwing)
+{
+    CellFactory factory;
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(101);
+    const auto r = analyzer.analyze(cell);
+    EXPECT_GE(r.nmh, 0.0);
+    EXPECT_GE(r.nml, 0.0);
+    EXPECT_LE(r.nmh, factory.supply().vdd);
+    EXPECT_LE(r.nml, factory.supply().vdd);
+}
+
+TEST(Vtc, VmTracksVss)
+{
+    // The Fig. 8 mechanism: more negative VSS lowers VM.
+    VtcAnalyzer analyzer(81);
+    std::vector<double> vms;
+    for (double vss : {-20.0, -15.0, -10.0}) {
+        cells::SupplyConfig supply{5.0, vss};
+        CellFactory factory(device::Level61Params{}, CellSizing{},
+                            supply);
+        auto cell = factory.inverter(InverterKind::PseudoE);
+        vms.push_back(analyzer.analyze(cell).vm);
+    }
+    EXPECT_LT(vms[0], vms[1]);
+    EXPECT_LT(vms[1], vms[2]);
+}
+
+TEST(Vtc, NandVtcWithSensitizedInputs)
+{
+    CellFactory factory;
+    auto cell = factory.nand(2);
+    VtcAnalyzer analyzer(81);
+    // Hold the second input high to sensitize input A.
+    const auto r = analyzer.analyze(cell, factory.supply().vdd);
+    EXPECT_GT(r.voh - r.vol, 0.5 * factory.supply().vdd);
+}
+
+TEST(Vtc, RejectsTooFewPoints)
+{
+    CellFactory factory;
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(8);
+    EXPECT_THROW(analyzer.analyze(cell), FatalError);
+}
+
+/** Sweep over VDD: gain and NM stay meaningful across supplies. */
+class VtcAcrossVdd : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VtcAcrossVdd, GainAboveUnityAndMarginsPositive)
+{
+    const double vdd = GetParam();
+    cells::SupplyConfig supply{vdd, -15.0};
+    CellFactory factory(device::Level61Params{}, CellSizing{}, supply);
+    auto cell = factory.inverter(InverterKind::PseudoE);
+    VtcAnalyzer analyzer(101);
+    const auto r = analyzer.analyze(cell);
+    EXPECT_GT(r.maxGain, 1.0) << "VDD=" << vdd;
+    EXPECT_GT(r.nmh, 0.0) << "VDD=" << vdd;
+    EXPECT_GT(r.nml, 0.0) << "VDD=" << vdd;
+}
+
+INSTANTIATE_TEST_SUITE_P(Supplies, VtcAcrossVdd,
+                         ::testing::Values(4.0, 5.0, 7.5, 10.0, 15.0));
+
+} // namespace
+} // namespace otft::cells

@@ -1,0 +1,123 @@
+/** @file Unit tests for DC analysis. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "util/logging.hpp"
+#include "device/pentacene.hpp"
+#include "util/stats.hpp"
+
+namespace otft::circuit {
+namespace {
+
+TEST(DcAnalysis, VoltageDivider)
+{
+    Circuit ckt;
+    const NodeId top = ckt.addNode("top");
+    const NodeId mid = ckt.addNode("mid");
+    ckt.addVoltageSource(top, Circuit::ground, 10.0);
+    ckt.addResistor(top, mid, 1000.0);
+    ckt.addResistor(mid, Circuit::ground, 3000.0);
+
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+    EXPECT_NEAR(dc.nodeVoltage(sol, mid), 7.5, 1e-6);
+    // Source delivers V * I = 10 * 10/4000 W.
+    EXPECT_NEAR(dc.totalSourcePower(sol), 10.0 * 10.0 / 4000.0, 1e-9);
+}
+
+TEST(DcAnalysis, CurrentSourceIntoResistor)
+{
+    Circuit ckt;
+    const NodeId n = ckt.addNode("n");
+    ckt.addCurrentSource(n, Circuit::ground, 1e-3);
+    ckt.addResistor(n, Circuit::ground, 2000.0);
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+    EXPECT_NEAR(dc.nodeVoltage(sol, n), 2.0, 1e-6);
+}
+
+TEST(DcAnalysis, SourceCurrentSign)
+{
+    Circuit ckt;
+    const NodeId top = ckt.addNode("top");
+    const SourceId src =
+        ckt.addVoltageSource(top, Circuit::ground, 5.0);
+    ckt.addResistor(top, Circuit::ground, 500.0);
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+    // Positive current delivered into the circuit.
+    EXPECT_NEAR(dc.sourceCurrent(sol, src), 0.01, 1e-9);
+}
+
+TEST(DcAnalysis, TransistorDiodeDrop)
+{
+    // Diode-connected p-type pentacene from a negative supply through
+    // a resistor: the device must sit near its threshold drop.
+    Circuit ckt;
+    const NodeId supply = ckt.addNode("vneg");
+    const NodeId mid = ckt.addNode("mid");
+    ckt.addVoltageSource(supply, Circuit::ground, -10.0);
+    ckt.addResistor(Circuit::ground, mid, 1e5);
+    // Diode-connected: gate = drain = supply side.
+    ckt.addFet(device::makePentaceneGolden(), supply, supply, mid);
+
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+    const double v = dc.nodeVoltage(sol, mid);
+    // mid settles between ground and supply, below ground by at most
+    // a few volts of device drop.
+    EXPECT_LT(v, 0.0);
+    EXPECT_GT(v, -10.0);
+}
+
+TEST(DcAnalysis, SweepWarmStartsAndRestoresWave)
+{
+    Circuit ckt;
+    const NodeId in = ckt.addNode("in");
+    const SourceId src =
+        ckt.addVoltageSource(in, Circuit::ground, 2.5);
+    ckt.addResistor(in, Circuit::ground, 1e4);
+    DcAnalysis dc(ckt);
+    const auto sweep = dc.sweepSource(src, linspace(0.0, 5.0, 11));
+    ASSERT_EQ(sweep.solutions.size(), 11u);
+    for (std::size_t i = 0; i < 11; ++i)
+        EXPECT_NEAR(dc.nodeVoltage(sweep.solutions[i], in),
+                    sweep.values[i], 1e-9);
+    // The original waveform is restored after the sweep.
+    EXPECT_DOUBLE_EQ(ckt.voltageSources()[0].wave.dc(), 2.5);
+}
+
+TEST(DcAnalysis, FloatingNodeHeldByGmin)
+{
+    Circuit ckt;
+    const NodeId orphan = ckt.addNode("orphan");
+    ckt.addCapacitor(orphan, Circuit::ground, 1e-12);
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+    EXPECT_NEAR(dc.nodeVoltage(sol, orphan), 0.0, 1e-6);
+}
+
+TEST(Circuit, ValidatesElements)
+{
+    Circuit ckt;
+    const NodeId a = ckt.addNode("a");
+    EXPECT_THROW(ckt.addResistor(a, 99, 100.0), FatalError);
+    EXPECT_THROW(ckt.addResistor(a, Circuit::ground, -5.0),
+                 FatalError);
+    EXPECT_THROW(ckt.addCapacitor(a, Circuit::ground, -1e-12),
+                 FatalError);
+    EXPECT_THROW(ckt.addFet(nullptr, a, a, a), FatalError);
+    EXPECT_THROW(ckt.setSourceWave(3, Pwl::constant(0.0)), FatalError);
+}
+
+TEST(Circuit, NodeNames)
+{
+    Circuit ckt;
+    const NodeId a = ckt.addNode("alpha");
+    EXPECT_EQ(ckt.nodeName(Circuit::ground), "gnd");
+    EXPECT_EQ(ckt.nodeName(a), "alpha");
+}
+
+} // namespace
+} // namespace otft::circuit

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Property tests on the MNA core: conservation laws and convergence
+ * fallbacks that every valid solution must satisfy, checked over
+ * randomized resistive networks and strongly nonlinear OTFT circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cells/topologies.hpp"
+#include "circuit/dc.hpp"
+#include "device/pentacene.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace otft::circuit {
+namespace {
+
+/** Random connected resistor network with one source. */
+Circuit
+randomNetwork(std::uint64_t seed, int nodes, SourceId *source_out)
+{
+    Rng rng(seed);
+    Circuit ckt;
+    std::vector<NodeId> ids = {Circuit::ground};
+    for (int i = 0; i < nodes; ++i) {
+        const NodeId n = ckt.addNode("n" + std::to_string(i));
+        // Connect each new node to a random earlier one (keeps the
+        // network connected), plus one extra random edge.
+        ckt.addResistor(n, ids[rng.uniformInt(ids.size())],
+                        100.0 + rng.uniform() * 10000.0);
+        ids.push_back(n);
+    }
+    for (int e = 0; e < nodes; ++e) {
+        const NodeId a = ids[rng.uniformInt(ids.size())];
+        const NodeId b = ids[rng.uniformInt(ids.size())];
+        if (a != b)
+            ckt.addResistor(a, b, 100.0 + rng.uniform() * 10000.0);
+    }
+    *source_out = ckt.addVoltageSource(ids[1], Circuit::ground,
+                                       1.0 + rng.uniform() * 9.0);
+    return ckt;
+}
+
+/** Power conservation: source power equals resistor dissipation. */
+class EnergyConservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EnergyConservation, SourcePowerMatchesDissipation)
+{
+    SourceId source = -1;
+    Circuit ckt = randomNetwork(
+        static_cast<std::uint64_t>(GetParam()), 3 + GetParam() % 8,
+        &source);
+    DcAnalysis dc(ckt);
+    const auto sol = dc.operatingPoint();
+
+    double dissipated = 0.0;
+    for (const auto &r : ckt.resistors()) {
+        const double v = dc.nodeVoltage(sol, r.a) -
+                         dc.nodeVoltage(sol, r.b);
+        dissipated += v * v / r.resistance;
+    }
+    EXPECT_NEAR(dc.totalSourcePower(sol), dissipated,
+                1e-9 + 1e-6 * dissipated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyConservation,
+                         ::testing::Range(1, 13));
+
+TEST(MnaProperties, KclAtEveryInverterNode)
+{
+    // For the pseudo-E inverter operating point, the currents into
+    // every internal node must sum to ~zero (checked through the
+    // device models directly).
+    cells::CellFactory factory;
+    auto cell = factory.inverter(cells::InverterKind::PseudoE);
+    cell.ckt.setSourceWave(cell.inputSources[0],
+                           Pwl::constant(2.5));
+    DcAnalysis dc(cell.ckt);
+    const auto sol = dc.operatingPoint();
+
+    std::vector<double> node_current(cell.ckt.numNodes(), 0.0);
+    for (const auto &fet : cell.ckt.fets()) {
+        const double vgs = dc.nodeVoltage(sol, fet.gate) -
+                           dc.nodeVoltage(sol, fet.source);
+        const double vds = dc.nodeVoltage(sol, fet.drain) -
+                           dc.nodeVoltage(sol, fet.source);
+        const double id = fet.model->drainCurrent(vgs, vds);
+        node_current[static_cast<std::size_t>(fet.drain)] += id;
+        node_current[static_cast<std::size_t>(fet.source)] -= id;
+    }
+    // Internal nodes (not rails, not driven): X and OUT.
+    // The output node of the inverter:
+    const double residual =
+        node_current[static_cast<std::size_t>(cell.out)];
+    EXPECT_NEAR(residual, 0.0, 1e-9);
+}
+
+TEST(MnaProperties, GminSteppingRescuesStiffCircuit)
+{
+    // A 10x-mobility device bank that defeats plain Newton and plain
+    // source stepping must still converge through the gmin fallback
+    // (regression test for the DNTT library characterization).
+    device::Level61Params strong;
+    strong.u0 *= 10.0;
+    cells::CellFactory factory(strong, cells::CellSizing{},
+                               cells::SupplyConfig{});
+    auto cell = factory.dff();
+    for (std::size_t i = 0; i < cell.inputSources.size(); ++i)
+        cell.ckt.setSourceWave(cell.inputSources[i],
+                               Pwl::constant(5.0));
+    DcAnalysis dc(cell.ckt);
+    EXPECT_NO_THROW({
+        const auto sol = dc.operatingPoint();
+        (void)sol;
+    });
+}
+
+TEST(MnaProperties, SweepMatchesPointSolves)
+{
+    // Warm-started sweep solutions must agree with independent cold
+    // solves at the same bias.
+    cells::CellFactory factory;
+    auto cell = factory.inverter(cells::InverterKind::PseudoE);
+    DcAnalysis dc(cell.ckt);
+    const std::vector<double> biases = {0.0, 1.0, 2.5, 4.0, 5.0};
+    const auto sweep = dc.sweepSource(cell.inputSources[0], biases);
+    for (std::size_t i = 0; i < biases.size(); ++i) {
+        cell.ckt.setSourceWave(cell.inputSources[0],
+                               Pwl::constant(biases[i]));
+        DcAnalysis cold(cell.ckt);
+        const auto point = cold.operatingPoint();
+        EXPECT_NEAR(dc.nodeVoltage(sweep.solutions[i], cell.out),
+                    cold.nodeVoltage(point, cell.out), 1e-4)
+            << "bias " << biases[i];
+    }
+}
+
+} // namespace
+} // namespace otft::circuit

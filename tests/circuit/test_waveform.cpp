@@ -1,0 +1,101 @@
+/** @file Unit tests for waveforms and measurements. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/waveform.hpp"
+#include "util/logging.hpp"
+
+namespace otft::circuit {
+namespace {
+
+TEST(Pwl, ConstantEverywhere)
+{
+    const Pwl p = Pwl::constant(3.0);
+    EXPECT_DOUBLE_EQ(p.at(-1.0), 3.0);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(p.at(100.0), 3.0);
+    EXPECT_DOUBLE_EQ(p.dc(), 3.0);
+}
+
+TEST(Pwl, RampShape)
+{
+    const Pwl p = Pwl::ramp(0.0, 2.0, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(p.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.at(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(p.at(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.at(3.0), 2.0);
+    EXPECT_DOUBLE_EQ(p.at(9.0), 2.0);
+}
+
+TEST(Pwl, PulseShape)
+{
+    const Pwl p = Pwl::pulse(0.0, 5.0, 1.0, 0.5, 2.0);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(p.at(1.25), 2.5);
+    EXPECT_DOUBLE_EQ(p.at(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(p.at(3.5), 5.0);
+    EXPECT_DOUBLE_EQ(p.at(4.0), 0.0);
+}
+
+TEST(Pwl, PointsValidation)
+{
+    EXPECT_THROW(Pwl::points({1.0, 0.5}, {0.0, 1.0}), FatalError);
+    EXPECT_THROW(Pwl::points({}, {}), FatalError);
+    EXPECT_THROW(Pwl::points({0.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(Trace, CrossingsBothDirections)
+{
+    Trace t;
+    t.time = {0, 1, 2, 3, 4};
+    t.value = {0, 2, 0, 2, 0};
+    const auto rising = t.crossings(1.0, true);
+    const auto falling = t.crossings(1.0, false);
+    ASSERT_EQ(rising.size(), 2u);
+    ASSERT_EQ(falling.size(), 2u);
+    EXPECT_NEAR(rising[0], 0.5, 1e-12);
+    EXPECT_NEAR(falling[0], 1.5, 1e-12);
+}
+
+TEST(Trace, FirstCrossingWithMinTime)
+{
+    Trace t;
+    t.time = {0, 1, 2, 3, 4};
+    t.value = {0, 2, 0, 2, 0};
+    EXPECT_NEAR(t.firstCrossing(1.0, true, 1.0), 2.5, 1e-12);
+    EXPECT_DOUBLE_EQ(t.firstCrossing(5.0, true), -1.0);
+}
+
+TEST(MeasureSlew, RisingRamp)
+{
+    Trace t;
+    t.time = {0, 1};
+    t.value = {0, 10};
+    // 20%-80% of a linear 0..10 ramp over 1 s = 0.6 s.
+    EXPECT_NEAR(measureSlew(t, 0.0, 10.0, 0.2, 0.8, true), 0.6,
+                1e-9);
+}
+
+TEST(MeasureSlew, MissingTransitionReturnsNegative)
+{
+    Trace t;
+    t.time = {0, 1};
+    t.value = {0, 0.1};
+    EXPECT_LT(measureSlew(t, 0.0, 10.0, 0.2, 0.8, true), 0.0);
+}
+
+TEST(MeasureDelay, MidpointToMidpoint)
+{
+    Trace in, out;
+    in.time = {0, 1, 2};
+    in.value = {0, 10, 10};
+    out.time = {0, 1, 2, 3};
+    out.value = {10, 10, 0, 0};
+    // Input crosses 5 at t=0.5 rising; output crosses 5 at t=1.5
+    // falling.
+    EXPECT_NEAR(measureDelay(in, out, 0, 10, true, 0, 10, false),
+                1.0, 1e-9);
+}
+
+} // namespace
+} // namespace otft::circuit

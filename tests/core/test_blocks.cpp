@@ -1,0 +1,109 @@
+/** @file Unit tests for the pipeline region block generators. */
+
+#include <gtest/gtest.h>
+
+#include "core/blocks.hpp"
+
+namespace otft::core {
+namespace {
+
+arch::CoreConfig
+config(int fe, int alu)
+{
+    arch::CoreConfig c;
+    c.fetchWidth = fe;
+    c.aluPipes = alu;
+    return c;
+}
+
+TEST(Blocks, AllRegionsBuildNonTrivialNetlists)
+{
+    const auto cfg = config(2, 2);
+    for (int r = 0; r < arch::numRegions; ++r) {
+        const auto nl =
+            buildRegionBlock(static_cast<arch::Region>(r), cfg);
+        EXPECT_GT(nl.numGates(), 50u)
+            << arch::toString(static_cast<arch::Region>(r));
+        EXPECT_FALSE(nl.outputs().empty());
+        EXPECT_TRUE(nl.dffs().empty()) << "regions are combinational";
+    }
+}
+
+TEST(Blocks, FrontEndBlocksScaleWithFetchWidth)
+{
+    for (arch::Region r : {arch::Region::Decode, arch::Region::Rename,
+                           arch::Region::Dispatch}) {
+        const auto narrow = buildRegionBlock(r, config(1, 1));
+        const auto wide = buildRegionBlock(r, config(6, 1));
+        EXPECT_GT(wide.numGates(), 1.5 * narrow.numGates())
+            << arch::toString(r);
+    }
+}
+
+TEST(Blocks, BackEndBlocksScaleWithAluPipes)
+{
+    for (arch::Region r : {arch::Region::Issue, arch::Region::RegRead,
+                           arch::Region::Execute}) {
+        const auto narrow = buildRegionBlock(r, config(2, 1));
+        const auto wide = buildRegionBlock(r, config(2, 5));
+        EXPECT_GT(wide.numGates(), 1.4 * narrow.numGates())
+            << arch::toString(r);
+    }
+}
+
+TEST(Blocks, ComplexAluContainsMultiplierAndDivider)
+{
+    const auto nl = buildComplexAlu(2);
+    EXPECT_GT(nl.numGates(), 10000u);
+    // 32-bit product + 2 quotient bits + 32 remainder bits.
+    EXPECT_EQ(nl.outputs().size(), 64u + 2u + 32u);
+}
+
+TEST(Blocks, WakeupLoopIsCompactAndCombinational)
+{
+    const auto nl = buildWakeupLoop(config(2, 2));
+    EXPECT_TRUE(nl.dffs().empty());
+    EXPECT_LT(nl.depth(), 40);
+    EXPECT_GT(nl.numGates(), 100u);
+}
+
+TEST(Blocks, BypassLoopGrowsWithPipesButStaysShallow)
+{
+    const auto small = buildBypassLoop(config(2, 1));
+    const auto big = buildBypassLoop(config(2, 5));
+    EXPECT_GT(big.numGates(), small.numGates());
+    // Tree mux: depth grows logarithmically, not linearly.
+    EXPECT_LT(big.depth(), small.depth() + 14);
+}
+
+TEST(Blocks, StorageBitsScaleWithStructures)
+{
+    auto base = config(1, 1);
+    auto big = base;
+    big.robSize = 256;
+    EXPECT_GT(storageBits(big), storageBits(base));
+
+    auto wide = base;
+    wide.fetchWidth = 6;
+    EXPECT_GT(storageBits(wide), storageBits(base));
+}
+
+/** Sweep: issue block depth is width-stable (partitioned select). */
+class IssueDepth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IssueDepth, DepthNearlyConstantInPipes)
+{
+    const auto one = buildRegionBlock(arch::Region::Issue,
+                                      config(2, 1));
+    const auto many = buildRegionBlock(arch::Region::Issue,
+                                       config(2, GetParam()));
+    EXPECT_LE(many.depth(), one.depth() + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipes, IssueDepth,
+                         ::testing::Values(2, 3, 4, 5));
+
+} // namespace
+} // namespace otft::core

@@ -1,0 +1,93 @@
+/** @file Tests for the architecture exploration drivers. */
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "liberty/silicon.hpp"
+
+namespace otft::core {
+namespace {
+
+ExplorerConfig
+quickConfig()
+{
+    ExplorerConfig config;
+    config.instructions = 8000;
+    return config;
+}
+
+TEST(Explorer, EvaluateProducesFullDesignPoint)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    ArchExplorer explorer(lib, quickConfig());
+    const auto point = explorer.evaluate(arch::baselineConfig());
+    EXPECT_EQ(point.ipc.size(), 7u);
+    EXPECT_GT(point.meanIpc, 0.0);
+    EXPECT_GT(point.performance, 0.0);
+    EXPECT_NEAR(point.performance,
+                point.meanIpc * point.timing.frequency,
+                point.performance * 1e-9);
+}
+
+TEST(Explorer, DepthSweepCoversRequestedStages)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    ArchExplorer explorer(lib, quickConfig());
+    const auto sweep = explorer.depthSweep(12);
+    ASSERT_EQ(sweep.points.size(), 4u); // 9, 10, 11, 12
+    for (std::size_t i = 0; i < sweep.points.size(); ++i)
+        EXPECT_EQ(sweep.points[i].config.totalStages(),
+                  9 + static_cast<int>(i));
+    EXPECT_EQ(sweep.workloadNames.size(), 7u);
+}
+
+TEST(Explorer, DepthSweepIpcDeclines)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    ArchExplorer explorer(lib, quickConfig());
+    const auto sweep = explorer.depthSweep(13);
+    EXPECT_LT(sweep.points.back().meanIpc,
+              sweep.points.front().meanIpc);
+}
+
+TEST(Explorer, WidthSweepShape)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    ArchExplorer explorer(lib, quickConfig());
+    const auto sweep = explorer.widthSweep(1, 2, 3, 4);
+    ASSERT_EQ(sweep.points.size(), 2u);    // be 3..4
+    ASSERT_EQ(sweep.points[0].size(), 2u); // fe 1..2
+    EXPECT_EQ(sweep.points[0][1].config.fetchWidth, 2);
+    EXPECT_EQ(sweep.points[1][0].config.backendWidth(), 4);
+}
+
+TEST(Explorer, AluDepthSweepMonotoneFrequency)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    ArchExplorer explorer(lib, quickConfig());
+    const auto points = explorer.aluDepthSweep({1, 4, 8});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_GT(points[1].frequency, points[0].frequency);
+    EXPECT_GT(points[2].frequency, points[1].frequency);
+    EXPECT_GT(points[2].area, points[0].area);
+}
+
+TEST(Explorer, IpcIndependentOfLibrary)
+{
+    // The paper's setup: one AnyCore simulation serves both processes.
+    const auto lib = liberty::makeSiliconLibrary();
+    liberty::SiliconConfig other_cfg;
+    other_cfg.tau = 10e-12;
+    const auto other = liberty::makeSiliconLibrary(other_cfg);
+
+    ArchExplorer a(lib, quickConfig());
+    ArchExplorer b(other, quickConfig());
+    const auto pa = a.evaluate(arch::baselineConfig());
+    const auto pb = b.evaluate(arch::baselineConfig());
+    for (std::size_t i = 0; i < pa.ipc.size(); ++i)
+        EXPECT_DOUBLE_EQ(pa.ipc[i], pb.ipc[i]);
+    EXPECT_NE(pa.timing.frequency, pb.timing.frequency);
+}
+
+} // namespace
+} // namespace otft::core

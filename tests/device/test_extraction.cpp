@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Calibration lock-in tests: parameter extraction on the golden
+ * pentacene device must reproduce the paper's published figures of
+ * merit (Sec. 4.1). These tests pin the device calibration — if a
+ * model change drifts the extracted values, the whole downstream
+ * flow (cells, library, architecture results) loses its anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/extraction.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "util/logging.hpp"
+
+namespace otft::device {
+namespace {
+
+class GoldenExtraction : public ::testing::Test
+{
+  protected:
+    GoldenExtraction()
+        : curves(measurePentaceneFig3()),
+          extractor(Polarity::PType, pentaceneGeometry())
+    {}
+
+    std::vector<TransferCurve> curves;
+    ParameterExtractor extractor;
+};
+
+TEST_F(GoldenExtraction, LinearMobilityMatchesPaper)
+{
+    const auto p = extractor.extract(curves[0]);
+    // Paper: 0.16 cm^2/Vs.
+    EXPECT_NEAR(p.mobility * 1e4, 0.16, 0.01);
+}
+
+TEST_F(GoldenExtraction, ThresholdAtVds1MatchesPaper)
+{
+    const auto p = extractor.extract(curves[0]);
+    // Paper: -1.3 V at |VDS| = 1 V.
+    EXPECT_NEAR(p.vt, -1.3, 0.1);
+}
+
+TEST_F(GoldenExtraction, ThresholdAtVds10MatchesPaper)
+{
+    const auto p = extractor.extract(curves[1]);
+    // Paper: +1.3 V at |VDS| = 10 V (drain-induced shift).
+    EXPECT_NEAR(p.vt, 1.3, 0.15);
+}
+
+TEST_F(GoldenExtraction, SubthresholdSlopeNearPaper)
+{
+    const auto p1 = extractor.extract(curves[0]);
+    const auto p10 = extractor.extract(curves[1]);
+    // Paper: 350 mV/dec; accept the extraction spread.
+    EXPECT_NEAR(p1.ss * 1e3, 350.0, 40.0);
+    EXPECT_NEAR(p10.ss * 1e3, 350.0, 40.0);
+}
+
+TEST_F(GoldenExtraction, OnOffRatioMatchesPaper)
+{
+    const auto p = extractor.extract(curves[0]);
+    // Paper: 1e6.
+    EXPECT_GT(p.onOffRatio, 0.5e6);
+    EXPECT_LT(p.onOffRatio, 2.0e6);
+}
+
+TEST_F(GoldenExtraction, RegimeSelectionAuto)
+{
+    // Auto must agree with the explicit regimes.
+    const auto lin = extractor.extract(curves[0], Regime::Linear);
+    const auto autolin = extractor.extract(curves[0], Regime::Auto);
+    EXPECT_DOUBLE_EQ(lin.vt, autolin.vt);
+
+    const auto sat = extractor.extract(curves[1], Regime::Saturation);
+    const auto autosat = extractor.extract(curves[1], Regime::Auto);
+    EXPECT_DOUBLE_EQ(sat.vt, autosat.vt);
+}
+
+TEST_F(GoldenExtraction, NoiseRobustness)
+{
+    // Same device, different instrument noise seed: extraction must
+    // move only slightly.
+    const auto other = measurePentaceneFig3(201, 1234);
+    const auto a = extractor.extract(curves[0]);
+    const auto b = extractor.extract(other[0]);
+    EXPECT_NEAR(a.mobility, b.mobility, 0.05 * a.mobility);
+    EXPECT_NEAR(a.vt, b.vt, 0.2);
+}
+
+TEST_F(GoldenExtraction, MalformedCurveIsFatal)
+{
+    TransferCurve bad;
+    bad.vgs = {0.0, 1.0};
+    bad.id = {1e-9, 2e-9};
+    EXPECT_THROW(extractor.extract(bad), FatalError);
+}
+
+/** Sweep: extraction stays consistent across sweep resolutions. */
+class ExtractionResolution : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExtractionResolution, MobilityStableAcrossResolution)
+{
+    const auto curves = measurePentaceneFig3(
+        static_cast<std::size_t>(GetParam()), 42);
+    ParameterExtractor extractor(Polarity::PType, pentaceneGeometry());
+    const auto p = extractor.extract(curves[0]);
+    EXPECT_NEAR(p.mobility * 1e4, 0.16, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ExtractionResolution,
+                         ::testing::Values(101, 151, 201, 301, 401));
+
+} // namespace
+} // namespace otft::device

@@ -1,0 +1,77 @@
+/** @file Unit tests for SPICE model fitting (paper Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "device/fitting.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+
+namespace otft::device {
+namespace {
+
+class Fitting : public ::testing::Test
+{
+  protected:
+    Fitting()
+        : curves(measurePentaceneFig3()),
+          fitter(Polarity::PType, pentaceneGeometry())
+    {}
+
+    std::vector<TransferCurve> curves;
+    ModelFitter fitter;
+};
+
+TEST_F(Fitting, Level61FitsWholeCurve)
+{
+    const auto fit = fitter.fitLevel61(curves[0]);
+    // The paper's headline: level 61 "fits the device well".
+    EXPECT_LT(fit.quality.rmsLogError, 0.1);
+    EXPECT_LT(fit.quality.rmsOnRegionError, 0.1);
+}
+
+TEST_F(Fitting, Level1GoodOnRegionBadSubthreshold)
+{
+    const auto fit = fitter.fitLevel1(curves[0]);
+    // On-region is representable...
+    EXPECT_LT(fit.quality.rmsOnRegionError, 0.15);
+    // ...but the missing subthreshold/leakage blows up the log error.
+    EXPECT_GT(fit.quality.rmsLogError, 1.0);
+}
+
+TEST_F(Fitting, Level61BeatsLevel1OnLogError)
+{
+    const auto f1 = fitter.fitLevel1(curves[0]);
+    const auto f61 = fitter.fitLevel61(curves[0]);
+    EXPECT_LT(f61.quality.rmsLogError,
+              0.2 * f1.quality.rmsLogError);
+}
+
+TEST_F(Fitting, Level61RecoversGoldenParameters)
+{
+    const auto fit = fitter.fitLevel61(curves[0]);
+    const Level61Params golden;
+    EXPECT_NEAR(fit.params.vt0, golden.vt0, 0.3);
+    EXPECT_NEAR(fit.params.u0 / golden.u0, 1.0, 0.2);
+    EXPECT_NEAR(fit.params.ss, golden.ss, 0.08);
+}
+
+TEST_F(Fitting, Level1ThresholdIsPhysical)
+{
+    const auto fit = fitter.fitLevel1(curves[0]);
+    // The forward-frame threshold should land in a plausible band.
+    EXPECT_GT(fit.params.vt, -1.0);
+    EXPECT_LT(fit.params.vt, 4.0);
+    EXPECT_GT(fit.params.u0, 0.0);
+}
+
+TEST_F(Fitting, EvaluateMatchesSelf)
+{
+    // Evaluating the golden model against its own noisy measurement
+    // leaves only the instrument noise.
+    const auto golden = makePentaceneGolden();
+    const auto q = fitter.evaluate(*golden, curves[0]);
+    EXPECT_LT(q.rmsLogError, 0.05);
+}
+
+} // namespace
+} // namespace otft::device

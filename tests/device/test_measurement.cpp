@@ -1,0 +1,95 @@
+/** @file Unit tests for the synthetic measurement bench. */
+
+#include <gtest/gtest.h>
+
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "util/logging.hpp"
+
+namespace otft::device {
+namespace {
+
+TEST(MeasurementBench, DeterministicForSeed)
+{
+    const auto a = measurePentaceneFig3(101, 5);
+    const auto b = measurePentaceneFig3(101, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a.size(); ++c)
+        for (std::size_t i = 0; i < a[c].id.size(); ++i)
+            EXPECT_DOUBLE_EQ(a[c].id[i], b[c].id[i]);
+}
+
+TEST(MeasurementBench, SeedsChangeNoise)
+{
+    const auto a = measurePentaceneFig3(101, 5);
+    const auto b = measurePentaceneFig3(101, 6);
+    int differing = 0;
+    for (std::size_t i = 0; i < a[0].id.size(); ++i)
+        if (a[0].id[i] != b[0].id[i])
+            ++differing;
+    EXPECT_GT(differing, 90);
+}
+
+TEST(MeasurementBench, CurrentsPositiveAndAboveFloor)
+{
+    InstrumentConfig config;
+    const auto curves = measurePentaceneFig3(201, 42);
+    for (const auto &curve : curves) {
+        for (double id : curve.id) {
+            EXPECT_GT(id, 0.0);
+            EXPECT_GT(id, 0.3 * config.currentFloor);
+        }
+    }
+}
+
+TEST(MeasurementBench, OnCurrentScalesWithVds)
+{
+    const auto curves = measurePentaceneFig3(201, 42);
+    // At VGS = -10 V the 10 V sweep carries much more current.
+    EXPECT_GT(curves[1].id.front(), 3.0 * curves[0].id.front());
+}
+
+TEST(MeasurementBench, SweepAxesWellFormed)
+{
+    const auto curves = measurePentaceneFig3(51, 1);
+    ASSERT_EQ(curves.size(), 2u);
+    EXPECT_DOUBLE_EQ(curves[0].vds, 1.0);
+    EXPECT_DOUBLE_EQ(curves[1].vds, 10.0);
+    for (const auto &curve : curves) {
+        ASSERT_EQ(curve.vgs.size(), 51u);
+        ASSERT_EQ(curve.id.size(), 51u);
+        ASSERT_EQ(curve.ig.size(), 51u);
+        EXPECT_DOUBLE_EQ(curve.vgs.front(), -10.0);
+        EXPECT_DOUBLE_EQ(curve.vgs.back(), 10.0);
+    }
+}
+
+TEST(MeasurementBench, GateLeakageSmallerThanOnCurrent)
+{
+    const auto curves = measurePentaceneFig3(201, 42);
+    EXPECT_LT(curves[0].ig.front(), 1e-3 * curves[0].id.front());
+}
+
+TEST(MeasurementBench, OutputCurveMonotone)
+{
+    auto golden = makePentaceneGolden();
+    MeasurementBench bench;
+    const auto out = bench.measureOutput(*golden, -8.0, 0.0, -10.0 *
+                                         -1.0, 51);
+    // measureOutput with vds 0..10 in the forward direction of the
+    // p-type device is taken with negative drain bias internally via
+    // the caller; here we just check the sweep is well formed.
+    EXPECT_EQ(out.vds.size(), 51u);
+    EXPECT_EQ(out.id.size(), 51u);
+}
+
+TEST(MeasurementBench, RejectsTinySweeps)
+{
+    auto golden = makePentaceneGolden();
+    MeasurementBench bench;
+    EXPECT_THROW(bench.measureTransfer(*golden, -1.0, 0.0, 1.0, 1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace otft::device

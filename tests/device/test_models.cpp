@@ -1,0 +1,189 @@
+/** @file Unit tests for the transistor models. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "device/level1_model.hpp"
+#include "device/level61_model.hpp"
+#include "device/pentacene.hpp"
+#include "device/silicon_mosfet.hpp"
+
+namespace otft::device {
+namespace {
+
+Level1Model
+makeLevel1()
+{
+    return Level1Model(Polarity::PType, pentaceneGeometry(),
+                       Level1Params{});
+}
+
+TEST(Level1Model, OffBelowThreshold)
+{
+    const auto m = makeLevel1();
+    // p-type: conduction needs vgs < -vt; vgs = 0 must be off.
+    EXPECT_DOUBLE_EQ(m.drainCurrent(0.0, -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.drainCurrent(2.0, -1.0), 0.0);
+}
+
+TEST(Level1Model, PTypeSignConvention)
+{
+    const auto m = makeLevel1();
+    // On device: negative vgs, negative vds -> current out of drain.
+    const double id = m.drainCurrent(-5.0, -1.0);
+    EXPECT_LT(id, 0.0);
+}
+
+TEST(Level1Model, SaturationIndependentOfVds)
+{
+    const auto m = makeLevel1();
+    const double i1 = m.drainCurrent(-5.0, -4.0);
+    const double i2 = m.drainCurrent(-5.0, -8.0);
+    // Only channel-length modulation separates them.
+    EXPECT_NEAR(i1 / i2, 1.0, 0.06);
+}
+
+TEST(Level1Model, TriodeQuadraticShape)
+{
+    Level1Params p;
+    p.lambda = 0.0;
+    const Level1Model m(Polarity::PType, pentaceneGeometry(), p);
+    // In deep triode, current ~ vov * vds.
+    const double i1 = std::abs(m.drainCurrent(-6.0, -0.1));
+    const double i2 = std::abs(m.drainCurrent(-6.0, -0.2));
+    EXPECT_NEAR(i2 / i1, 2.0, 0.05);
+}
+
+TEST(Level61Model, LeakageFloorWhenOff)
+{
+    const auto m = makePentaceneGolden();
+    const double id = std::abs(m->drainCurrent(8.0, -1.0));
+    // Far below threshold: within ~2x of the leakage floor.
+    EXPECT_LT(id, 3.0 * m->params().iOff);
+    EXPECT_GT(id, 0.0);
+}
+
+TEST(Level61Model, SubthresholdSlopeIsExponential)
+{
+    const auto m = makePentaceneGolden();
+    // Subthreshold near the onset at |VDS| = 1 V: one volt of gate
+    // drive multiplies current by 10^(1/SS)-ish. (Deeper below
+    // threshold the leakage floor takes over — the 1e6 on/off ratio
+    // only leaves ~2 decades of clean exponential.)
+    const double i1 = std::abs(m->drainCurrent(0.5, -1.0));
+    const double i2 = std::abs(m->drainCurrent(-0.5, -1.0));
+    const double decades = std::log10(i2 / i1);
+    EXPECT_GT(decades, 1.0);
+    EXPECT_LT(decades, 4.5);
+}
+
+TEST(Level61Model, SourceDrainSymmetry)
+{
+    const auto m = makePentaceneGolden();
+    // id(vgs, vds) == -id(vgs - vds, -vds) must hold by construction.
+    for (double vgs : {-6.0, -3.0, 0.0, 2.0}) {
+        for (double vds : {-5.0, -1.0, 1.0, 5.0}) {
+            const double a = m->drainCurrent(vgs, vds);
+            const double b = -m->drainCurrent(vgs - vds, -vds);
+            EXPECT_NEAR(a, b, std::abs(a) * 1e-9 + 1e-18)
+                << "vgs=" << vgs << " vds=" << vds;
+        }
+    }
+}
+
+TEST(Level61Model, ContinuityAcrossThreshold)
+{
+    const auto m = makePentaceneGolden();
+    // No jumps: current is monotone in |vgs| through the threshold.
+    double prev = std::abs(m->drainCurrent(4.0, -1.0));
+    for (double vgs = 3.9; vgs >= -8.0; vgs -= 0.1) {
+        const double cur = std::abs(m->drainCurrent(vgs, -1.0));
+        EXPECT_GE(cur, prev * 0.999)
+            << "current not monotone at vgs=" << vgs;
+        prev = cur;
+    }
+}
+
+TEST(Level61Model, DiblShiftsThreshold)
+{
+    const auto m = makePentaceneGolden();
+    const double vt1 = m->effectiveVt(1.0);
+    const double vt5 = m->effectiveVt(5.0);
+    const double vt20 = m->effectiveVt(20.0);
+    EXPECT_GT(vt1, vt5);
+    // Clamp: no further shift past vdsRef + diblVmax.
+    EXPECT_NEAR(vt20, m->effectiveVt(10.0), 1e-12);
+}
+
+TEST(Level61Model, CurrentScalesWithAspectRatio)
+{
+    Geometry narrow = pentaceneGeometry();
+    narrow.w = 100e-6;
+    const Level61Model wide(Polarity::PType, pentaceneGeometry(),
+                            Level61Params{});
+    const Level61Model thin(Polarity::PType, narrow, Level61Params{});
+    const double iw = std::abs(wide.drainCurrent(-8.0, -5.0));
+    const double in = std::abs(thin.drainCurrent(-8.0, -5.0));
+    EXPECT_NEAR(iw / in, 10.0, 0.01);
+}
+
+TEST(GmGds, FiniteDifferencesArePositiveOn)
+{
+    const auto m = makePentaceneGolden();
+    // At an on-state bias in the forward frame the derivatives follow
+    // the mirrored sign convention; their magnitudes must be sane.
+    const double gm = m->gm(-6.0, -3.0);
+    EXPECT_GT(std::abs(gm), 1e-9);
+}
+
+TEST(SiliconMosfet, OnOffContrast)
+{
+    const auto nmos = makeSilicon45Nmos();
+    const double on = nmos->drainCurrent(1.1, 1.1);
+    const double off = nmos->drainCurrent(0.0, 1.1);
+    EXPECT_GT(on / off, 1e3);
+}
+
+TEST(SiliconMosfet, MobilityGapVsOrganic)
+{
+    // The paper's ~1000x electron mobility gap.
+    const SiliconParams si;
+    const Level61Params org;
+    EXPECT_GT(si.u0 / org.u0, 500.0);
+    EXPECT_LT(si.u0 / org.u0, 5000.0);
+}
+
+TEST(SiliconMosfet, PmosWeakerThanNmos)
+{
+    const auto nmos = makeSilicon45Nmos();
+    const auto pmos = makeSilicon45Pmos();
+    const double in = std::abs(nmos->drainCurrent(1.1, 1.1));
+    const double ip = std::abs(pmos->drainCurrent(-1.1, -1.1));
+    EXPECT_GT(in, ip);
+}
+
+/** Parameterized sweep: monotonicity of |ID| in |VDS| (both models). */
+class VdsMonotonic : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VdsMonotonic, CurrentNonDecreasingInVds)
+{
+    const auto m = makePentaceneGolden();
+    const double vgs = GetParam();
+    double prev = 0.0;
+    for (double vds = -0.1; vds >= -10.0; vds -= 0.1) {
+        const double cur = std::abs(m->drainCurrent(vgs, vds));
+        EXPECT_GE(cur, prev * 0.9999) << "vgs=" << vgs
+                                      << " vds=" << vds;
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GateBiases, VdsMonotonic,
+                         ::testing::Values(-8.0, -5.0, -3.0, -1.0,
+                                           0.0));
+
+} // namespace
+} // namespace otft::device

@@ -1,0 +1,83 @@
+/** @file Unit tests for process variation sampling. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "device/pentacene.hpp"
+#include "device/variation.hpp"
+
+namespace otft::device {
+namespace {
+
+TEST(Variation, VtSpreadMatchesPublishedBand)
+{
+    // Paper: VT spread within 0.5 V across a sample (+/- 2 sigma).
+    VariationModel model;
+    Rng rng(1);
+    const Level61Params nominal;
+    std::vector<double> vts;
+    for (int i = 0; i < 4000; ++i)
+        vts.push_back(model.sample(nominal, rng).vt0);
+    double sum = 0.0, sq = 0.0;
+    for (double v : vts) {
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / vts.size();
+    const double sigma = std::sqrt(sq / vts.size() - mean * mean);
+    EXPECT_NEAR(mean, nominal.vt0, 0.02);
+    EXPECT_NEAR(4.0 * sigma, 0.5, 0.05);
+}
+
+TEST(Variation, MobilityLogNormalAroundNominal)
+{
+    VariationModel model;
+    Rng rng(2);
+    const Level61Params nominal;
+    double log_sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const auto p = model.sample(nominal, rng);
+        EXPECT_GT(p.u0, 0.0);
+        log_sum += std::log(p.u0 / nominal.u0);
+    }
+    EXPECT_NEAR(log_sum / n, 0.0, 0.02);
+}
+
+TEST(Variation, SampleDeviceKeepsGeometryAndPolarity)
+{
+    VariationModel model;
+    Rng rng(3);
+    const auto nominal = makePentaceneGolden();
+    const auto varied = model.sampleDevice(*nominal, rng);
+    EXPECT_EQ(varied->polarity(), Polarity::PType);
+    EXPECT_DOUBLE_EQ(varied->geometry().w, nominal->geometry().w);
+    EXPECT_DOUBLE_EQ(varied->geometry().l, nominal->geometry().l);
+}
+
+TEST(Variation, DeterministicGivenSeed)
+{
+    VariationModel model;
+    const Level61Params nominal;
+    Rng a(9), b(9);
+    for (int i = 0; i < 16; ++i) {
+        const auto pa = model.sample(nominal, a);
+        const auto pb = model.sample(nominal, b);
+        EXPECT_DOUBLE_EQ(pa.vt0, pb.vt0);
+        EXPECT_DOUBLE_EQ(pa.u0, pb.u0);
+        EXPECT_DOUBLE_EQ(pa.iOff, pb.iOff);
+    }
+}
+
+TEST(Variation, LeakageStaysPositive)
+{
+    VariationModel model;
+    Rng rng(5);
+    const Level61Params nominal;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(model.sample(nominal, rng).iOff, 0.0);
+}
+
+} // namespace
+} // namespace otft::device

@@ -1,0 +1,36 @@
+/** @file Tests for the DNTT-class high-mobility library factory. */
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterizer.hpp"
+#include "util/logging.hpp"
+
+namespace otft::liberty {
+namespace {
+
+TEST(Dntt, TenXMobilityGivesTenXSpeed)
+{
+    setQuiet(true);
+    const auto pentacene = cachedOrganicLibrary("organic.lib");
+    const auto dntt = cachedDnttLibrary("organic_dntt.lib");
+
+    const auto &p_inv = pentacene.cell("inv");
+    const auto &d_inv = dntt.cell("inv");
+    const double p = p_inv.arc(0).worstDelay(pentacene.defaultSlew(),
+                                             4.0 * p_inv.inputCap);
+    const double d = d_inv.arc(0).worstDelay(dntt.defaultSlew(),
+                                             4.0 * d_inv.inputCap);
+    EXPECT_NEAR(p / d, 10.0, 2.5);
+    // Same topologies: identical areas and pin caps.
+    EXPECT_DOUBLE_EQ(p_inv.area, d_inv.area);
+    EXPECT_DOUBLE_EQ(p_inv.inputCap, d_inv.inputCap);
+}
+
+TEST(Dntt, RejectsNonPositiveScale)
+{
+    EXPECT_THROW(makeDnttLibrary(0.0), FatalError);
+    EXPECT_THROW(makeDnttLibrary(-2.0), FatalError);
+}
+
+} // namespace
+} // namespace otft::liberty

@@ -1,0 +1,84 @@
+/** @file Unit tests for NLDM look-up tables. */
+
+#include <gtest/gtest.h>
+
+#include "liberty/nldm.hpp"
+#include "util/logging.hpp"
+
+namespace otft::liberty {
+namespace {
+
+NldmTable
+makeLinearTable()
+{
+    // value = 2*slew + 3*load.
+    return NldmTable::fromModel({1.0, 2.0, 4.0}, {10.0, 20.0, 40.0},
+                                [](double s, double l) {
+                                    return 2.0 * s + 3.0 * l;
+                                });
+}
+
+TEST(Nldm, ExactAtGridPoints)
+{
+    const auto t = makeLinearTable();
+    EXPECT_DOUBLE_EQ(t.lookup(1.0, 10.0), 32.0);
+    EXPECT_DOUBLE_EQ(t.lookup(4.0, 40.0), 128.0);
+    EXPECT_DOUBLE_EQ(t.lookup(2.0, 20.0), 64.0);
+}
+
+TEST(Nldm, BilinearInsideGrid)
+{
+    const auto t = makeLinearTable();
+    // A bilinear interpolant reproduces a linear function exactly.
+    EXPECT_NEAR(t.lookup(1.5, 15.0), 2.0 * 1.5 + 3.0 * 15.0, 1e-12);
+    EXPECT_NEAR(t.lookup(3.0, 30.0), 2.0 * 3.0 + 3.0 * 30.0, 1e-12);
+}
+
+TEST(Nldm, LinearExtrapolationOutsideGrid)
+{
+    const auto t = makeLinearTable();
+    EXPECT_NEAR(t.lookup(8.0, 80.0), 2.0 * 8.0 + 3.0 * 80.0, 1e-12);
+    EXPECT_NEAR(t.lookup(0.5, 5.0), 2.0 * 0.5 + 3.0 * 5.0, 1e-12);
+}
+
+TEST(Nldm, ValidatesConstruction)
+{
+    EXPECT_THROW(NldmTable({1.0}, {1.0, 2.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(NldmTable({2.0, 1.0}, {1.0, 2.0},
+                           {1.0, 2.0, 3.0, 4.0}),
+                 FatalError);
+    EXPECT_THROW(NldmTable({1.0, 2.0}, {1.0, 2.0}, {1.0}), FatalError);
+}
+
+TEST(Nldm, EmptyLookupIsFatal)
+{
+    NldmTable empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_THROW(empty.lookup(1.0, 1.0), FatalError);
+}
+
+/** Property: lookup is monotone when the table is monotone. */
+class NldmMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NldmMonotone, MonotoneInLoad)
+{
+    const auto t = NldmTable::fromModel(
+        {1e-12, 1e-11, 1e-10}, {1e-15, 1e-14, 1e-13},
+        [](double s, double l) { return 1e-12 + 5.0 * s + 2e3 * l; });
+    const double slew = GetParam();
+    double prev = -1.0;
+    for (double load = 1e-16; load < 1e-12; load *= 2.0) {
+        const double v = t.lookup(slew, load);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slews, NldmMonotone,
+                         ::testing::Values(1e-12, 5e-12, 5e-11,
+                                           2e-10));
+
+} // namespace
+} // namespace otft::liberty

@@ -1,0 +1,91 @@
+/** @file Unit tests for the constructed 45 nm silicon library. */
+
+#include <gtest/gtest.h>
+
+#include "liberty/silicon.hpp"
+
+namespace otft::liberty {
+namespace {
+
+TEST(Silicon, HasAllSixCells)
+{
+    const auto lib = makeSiliconLibrary();
+    for (const char *name :
+         {"inv", "nand2", "nand3", "nor2", "nor3", "dff"})
+        EXPECT_TRUE(lib.hasCell(name)) << name;
+}
+
+TEST(Silicon, Fo4NearSeventeenPicoseconds)
+{
+    const auto lib = makeSiliconLibrary();
+    const auto &inv = lib.cell("inv");
+    const double fo4 =
+        inv.arc(0).worstDelay(lib.defaultSlew(), 4.0 * inv.inputCap);
+    EXPECT_GT(fo4, 10e-12);
+    EXPECT_LT(fo4, 30e-12);
+}
+
+TEST(Silicon, LogicalEffortOrdering)
+{
+    const auto lib = makeSiliconLibrary();
+    const double load = 4e-15;
+    const double slew = lib.defaultSlew();
+    const double d_inv = lib.cell("inv").arc(0).worstDelay(slew, load);
+    const double d_nand2 =
+        lib.cell("nand2").arc(0).worstDelay(slew, load);
+    const double d_nor3 =
+        lib.cell("nor3").arc(0).worstDelay(slew, load);
+    EXPECT_LT(d_inv, d_nand2);
+    EXPECT_LT(d_nand2, d_nor3);
+}
+
+TEST(Silicon, InputCapScalesWithLogicalEffort)
+{
+    const auto lib = makeSiliconLibrary();
+    EXPECT_GT(lib.cell("nand2").inputCap, lib.cell("inv").inputCap);
+    EXPECT_GT(lib.cell("nor3").inputCap, lib.cell("nand3").inputCap);
+}
+
+TEST(Silicon, SixOrdersFasterThanOrganicScale)
+{
+    const auto lib = makeSiliconLibrary();
+    const auto &inv = lib.cell("inv");
+    const double d = inv.arc(0).worstDelay(lib.defaultSlew(),
+                                           inv.inputCap);
+    // Picoseconds vs the organic library's tens of microseconds.
+    EXPECT_LT(d, 1e-10);
+}
+
+TEST(Silicon, WireDelayComparableToGateDelay)
+{
+    // The silicon side of the paper's ratio argument: a typical net's
+    // wire contribution is a significant fraction of a gate delay.
+    const auto lib = makeSiliconLibrary();
+    const auto &wire = lib.wire();
+    const auto &inv = lib.cell("inv");
+    const double length = wire.lengthBase + 2.0 * wire.lengthPerFanout;
+    const double wire_cap = wire.capPerMeter * length;
+    // Wire cap on a fanout-2 net rivals the two driven pins.
+    EXPECT_GT(wire_cap, 0.5 * 2.0 * inv.inputCap);
+}
+
+TEST(Silicon, ConfigKnobsApply)
+{
+    SiliconConfig config;
+    config.clkToQ = 99e-12;
+    config.clockMargin = 1e-9;
+    const auto lib = makeSiliconLibrary(config);
+    EXPECT_DOUBLE_EQ(lib.cell("dff").flop.clkToQ, 99e-12);
+    EXPECT_DOUBLE_EQ(lib.clockMargin(), 1e-9);
+}
+
+TEST(Silicon, DffSequentialFlag)
+{
+    const auto lib = makeSiliconLibrary();
+    EXPECT_TRUE(lib.cell("dff").isSequential);
+    EXPECT_FALSE(lib.cell("inv").isSequential);
+    EXPECT_GT(lib.cell("dff").flop.setup, 0.0);
+}
+
+} // namespace
+} // namespace otft::liberty

@@ -1,0 +1,129 @@
+/** @file Unit tests for fanout-tree buffering. */
+
+#include <gtest/gtest.h>
+
+#include "netlist/bufferize.hpp"
+#include "netlist/generators.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace otft::netlist {
+namespace {
+
+/** Max sinks on any net of a netlist (including output ports). */
+int
+maxFanout(const Netlist &nl)
+{
+    auto fo = nl.fanouts();
+    std::vector<int> count(nl.numGates(), 0);
+    for (std::size_t g = 0; g < nl.numGates(); ++g)
+        count[g] = static_cast<int>(fo[g].size());
+    for (const auto &port : nl.outputs())
+        ++count[static_cast<std::size_t>(port.gate)];
+    int best = 0;
+    for (int c : count)
+        best = std::max(best, c);
+    return best;
+}
+
+Netlist
+wideFanoutNetlist(int sinks)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const GateId a = b.input("a");
+    const GateId n = b.notGate(a);
+    for (int i = 0; i < sinks; ++i)
+        b.output("o" + std::to_string(i), b.notGate(n));
+    return nl;
+}
+
+TEST(Bufferize, CapsFanout)
+{
+    const auto nl = wideFanoutNetlist(64);
+    EXPECT_GT(maxFanout(nl), 6);
+    const auto buffered = bufferize(nl, 6);
+    EXPECT_LE(maxFanout(buffered), 6);
+}
+
+TEST(Bufferize, PreservesFunction)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 8);
+    const auto y = b.inputBus("y", 8);
+    const auto product = arrayMultiplier(b, a, y);
+    b.outputBus("p", product);
+
+    const auto buffered = bufferize(nl, 4);
+    EXPECT_LE(maxFanout(buffered), 4);
+
+    Rng rng(3);
+    for (int trial = 0; trial < 24; ++trial) {
+        std::vector<bool> in;
+        for (int i = 0; i < 16; ++i)
+            in.push_back(rng.bernoulli(0.5));
+        const auto v1 = nl.evaluate(in);
+        const auto v2 = buffered.evaluate(in);
+        ASSERT_EQ(nl.outputs().size(), buffered.outputs().size());
+        for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+            EXPECT_EQ(v1[static_cast<std::size_t>(
+                          nl.outputs()[o].gate)],
+                      v2[static_cast<std::size_t>(
+                          buffered.outputs()[o].gate)]);
+        }
+    }
+}
+
+TEST(Bufferize, NoChangeWhenUnderLimit)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const GateId a = b.input("a");
+    b.output("o", b.notGate(a));
+    const auto buffered = bufferize(nl, 6);
+    EXPECT_EQ(buffered.numGates(), nl.numGates());
+}
+
+TEST(Bufferize, BufferPairsPreservePolarity)
+{
+    const auto nl = wideFanoutNetlist(40);
+    const auto buffered = bufferize(nl, 4);
+    const auto vals_hi = buffered.evaluate({true});
+    const auto vals_lo = buffered.evaluate({false});
+    for (const auto &port : buffered.outputs()) {
+        EXPECT_TRUE(vals_hi[static_cast<std::size_t>(port.gate)]);
+        EXPECT_FALSE(vals_lo[static_cast<std::size_t>(port.gate)]);
+    }
+}
+
+TEST(Bufferize, TreeDepthLogarithmic)
+{
+    const auto nl = wideFanoutNetlist(200);
+    const auto buffered = bufferize(nl, 4);
+    // 200 sinks at branching 4 needs <= 4 buffer levels of inverter
+    // pairs beyond the original depth-2 netlist.
+    EXPECT_LE(buffered.depth(), nl.depth() + 2 * 4);
+}
+
+TEST(Bufferize, SequentialNetlistsSupported)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const GateId a = b.input("a");
+    const GateId q = b.dff(a);
+    for (int i = 0; i < 30; ++i)
+        b.output("o" + std::to_string(i), b.notGate(q));
+    const auto buffered = bufferize(nl, 5);
+    EXPECT_LE(maxFanout(buffered), 5);
+    EXPECT_EQ(buffered.dffs().size(), 1u);
+}
+
+TEST(Bufferize, RejectsBadLimit)
+{
+    Netlist nl;
+    EXPECT_THROW(bufferize(nl, 1), FatalError);
+}
+
+} // namespace
+} // namespace otft::netlist

@@ -1,0 +1,349 @@
+/** @file Functional tests for the datapath generators. */
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "util/rng.hpp"
+
+namespace otft::netlist {
+namespace {
+
+std::vector<bool>
+bits(std::uint64_t value, int width)
+{
+    std::vector<bool> out(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+        out[static_cast<std::size_t>(i)] = (value >> i) & 1;
+    return out;
+}
+
+std::uint64_t
+fromBus(const Bus &bus, const std::vector<bool> &vals)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        if (vals[static_cast<std::size_t>(bus[i])])
+            v |= std::uint64_t{1} << i;
+    return v;
+}
+
+std::vector<bool>
+concat(std::initializer_list<std::vector<bool>> parts)
+{
+    std::vector<bool> out;
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+/** Parameterized over operand width. */
+class AdderWidths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AdderWidths, RippleMatchesArithmetic)
+{
+    const int w = GetParam();
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", w);
+    const auto y = b.inputBus("y", w);
+    const auto sum = rippleCarryAdder(b, a, y);
+
+    Rng rng(static_cast<std::uint64_t>(w));
+    const std::uint64_t mask =
+        w == 64 ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << w) - 1);
+    for (int trial = 0; trial < 24; ++trial) {
+        const std::uint64_t x = rng.next() & mask;
+        const std::uint64_t z = rng.next() & mask;
+        const auto vals = nl.evaluate(concat({bits(x, w), bits(z, w)}));
+        EXPECT_EQ(fromBus(sum.sum, vals), (x + z) & mask);
+        EXPECT_EQ(vals[static_cast<std::size_t>(sum.carryOut)],
+                  ((x + z) >> w) & 1);
+    }
+}
+
+TEST_P(AdderWidths, KoggeStoneMatchesRipple)
+{
+    const int w = GetParam();
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", w);
+    const auto y = b.inputBus("y", w);
+    const GateId cin = b.input("cin");
+    const auto ks = koggeStoneAdder(b, a, y, cin);
+
+    Rng rng(static_cast<std::uint64_t>(w) + 100);
+    const std::uint64_t mask =
+        w == 64 ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << w) - 1);
+    for (int trial = 0; trial < 24; ++trial) {
+        const std::uint64_t x = rng.next() & mask;
+        const std::uint64_t z = rng.next() & mask;
+        const bool c = trial % 2;
+        auto in = concat({bits(x, w), bits(z, w)});
+        in.push_back(c);
+        const auto vals = nl.evaluate(in);
+        EXPECT_EQ(fromBus(ks.sum, vals), (x + z + c) & mask);
+    }
+}
+
+TEST_P(AdderWidths, KoggeStoneShallowerThanRipple)
+{
+    const int w = GetParam();
+    if (w < 8)
+        return;
+    Netlist ripple_nl, ks_nl;
+    {
+        NetBuilder b(ripple_nl);
+        rippleCarryAdder(b, b.inputBus("a", w), b.inputBus("y", w));
+    }
+    {
+        NetBuilder b(ks_nl);
+        koggeStoneAdder(b, b.inputBus("a", w), b.inputBus("y", w));
+    }
+    EXPECT_LT(ks_nl.depth(), ripple_nl.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(Multiplier, ExhaustiveFourBit)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 4);
+    const auto y = b.inputBus("y", 4);
+    const auto product = arrayMultiplier(b, a, y);
+    ASSERT_EQ(product.size(), 8u);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t z = 0; z < 16; ++z) {
+            const auto vals =
+                nl.evaluate(concat({bits(x, 4), bits(z, 4)}));
+            EXPECT_EQ(fromBus(product, vals), x * z)
+                << x << " * " << z;
+        }
+    }
+}
+
+TEST(Multiplier, RandomSixteenBit)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 16);
+    const auto y = b.inputBus("y", 16);
+    const auto product = arrayMultiplier(b, a, y);
+    Rng rng(5);
+    for (int trial = 0; trial < 32; ++trial) {
+        const std::uint64_t x = rng.next() & 0xFFFF;
+        const std::uint64_t z = rng.next() & 0xFFFF;
+        const auto vals =
+            nl.evaluate(concat({bits(x, 16), bits(z, 16)}));
+        EXPECT_EQ(fromBus(product, vals), x * z);
+    }
+}
+
+TEST(Divider, ExhaustiveFourBit)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 4);
+    const auto d = b.inputBus("d", 4);
+    const auto result = nonRestoringDivider(b, a, d, 4);
+    for (std::uint64_t x = 0; x < 16; ++x) {
+        for (std::uint64_t z = 1; z < 16; ++z) {
+            const auto vals =
+                nl.evaluate(concat({bits(x, 4), bits(z, 4)}));
+            EXPECT_EQ(fromBus(result.quotient, vals), x / z)
+                << x << " / " << z;
+            EXPECT_EQ(fromBus(result.remainder, vals), x % z)
+                << x << " % " << z;
+        }
+    }
+}
+
+TEST(Divider, PartialRowsComputeTopQuotientBits)
+{
+    // rows < n computes the quotient of (a >> (n - rows)) in the top
+    // bits; verify via the full-width identity on row-aligned values.
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 8);
+    const auto d = b.inputBus("d", 8);
+    const auto result = nonRestoringDivider(b, a, d, 8);
+    Rng rng(11);
+    for (int trial = 0; trial < 48; ++trial) {
+        const std::uint64_t x = rng.next() & 0xFF;
+        const std::uint64_t z = 1 + (rng.next() & 0x7F);
+        const auto vals =
+            nl.evaluate(concat({bits(x, 8), bits(z, 8)}));
+        EXPECT_EQ(fromBus(result.quotient, vals), x / z);
+        EXPECT_EQ(fromBus(result.remainder, vals), x % z);
+    }
+}
+
+TEST(BarrelShifter, LeftAndRight)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 16);
+    const auto sh = b.inputBus("sh", 4);
+    const auto left = barrelShifter(b, a, sh, true);
+    const auto right = barrelShifter(b, a, sh, false);
+    Rng rng(7);
+    for (int trial = 0; trial < 32; ++trial) {
+        const std::uint64_t x = rng.next() & 0xFFFF;
+        const std::uint64_t amount = rng.next() & 0xF;
+        const auto vals =
+            nl.evaluate(concat({bits(x, 16), bits(amount, 4)}));
+        EXPECT_EQ(fromBus(left, vals), (x << amount) & 0xFFFF);
+        EXPECT_EQ(fromBus(right, vals), x >> amount);
+    }
+}
+
+TEST(Comparators, EqualityAndLessThan)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto a = b.inputBus("a", 8);
+    const auto y = b.inputBus("y", 8);
+    const GateId eq = equalityComparator(b, a, y);
+    const GateId lt = lessThan(b, a, y);
+    Rng rng(13);
+    for (int trial = 0; trial < 64; ++trial) {
+        const std::uint64_t x = rng.next() & 0xFF;
+        const std::uint64_t z =
+            trial % 4 == 0 ? x : rng.next() & 0xFF;
+        const auto vals =
+            nl.evaluate(concat({bits(x, 8), bits(z, 8)}));
+        EXPECT_EQ(vals[static_cast<std::size_t>(eq)], x == z);
+        EXPECT_EQ(vals[static_cast<std::size_t>(lt)], x < z);
+    }
+}
+
+TEST(Decoder, OneHotOutput)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto sel = b.inputBus("s", 3);
+    const auto out = decoder(b, sel);
+    ASSERT_EQ(out.size(), 8u);
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        const auto vals = nl.evaluate(bits(v, 3));
+        for (std::uint64_t w = 0; w < 8; ++w)
+            EXPECT_EQ(vals[static_cast<std::size_t>(out[w])], w == v);
+    }
+}
+
+TEST(Muxes, OnehotAndBinaryAgree)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    std::vector<Bus> ways;
+    for (int w = 0; w < 4; ++w)
+        ways.push_back(b.inputBus("w" + std::to_string(w), 4));
+    const auto sel = b.inputBus("s", 2);
+    const auto onehot_sel = decoder(b, sel);
+    const auto via_onehot = onehotMux(b, ways, onehot_sel);
+    const auto via_binary = binaryMux(b, ways, sel);
+
+    Rng rng(17);
+    for (int trial = 0; trial < 24; ++trial) {
+        std::vector<bool> in;
+        std::uint64_t expect[4];
+        for (int w = 0; w < 4; ++w) {
+            expect[w] = rng.next() & 0xF;
+            const auto v = bits(expect[w], 4);
+            in.insert(in.end(), v.begin(), v.end());
+        }
+        const std::uint64_t s = rng.next() & 3;
+        const auto sv = bits(s, 2);
+        in.insert(in.end(), sv.begin(), sv.end());
+        const auto vals = nl.evaluate(in);
+        EXPECT_EQ(fromBus(via_onehot, vals), expect[s]);
+        EXPECT_EQ(fromBus(via_binary, vals), expect[s]);
+    }
+}
+
+TEST(PriorityArbiter, GrantsLowestRequester)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto req = b.inputBus("r", 8);
+    const auto grant = priorityArbiter(b, req);
+    Rng rng(19);
+    for (int trial = 0; trial < 64; ++trial) {
+        const std::uint64_t r = rng.next() & 0xFF;
+        const auto vals = nl.evaluate(bits(r, 8));
+        const std::uint64_t g = fromBus(grant, vals);
+        if (r == 0) {
+            EXPECT_EQ(g, 0u);
+        } else {
+            EXPECT_EQ(g, r & (~r + 1)); // lowest set bit
+        }
+    }
+}
+
+TEST(PrefixOr, MatchesNaive)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto in = b.inputBus("x", 11);
+    const auto fast = prefixOrFast(b, in);
+    const auto slow = prefixOr(b, in);
+    Rng rng(23);
+    for (int trial = 0; trial < 48; ++trial) {
+        const std::uint64_t x = rng.next() & 0x7FF;
+        const auto vals = nl.evaluate(bits(x, 11));
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 11; ++i) {
+            acc |= (x >> i) & 1;
+            EXPECT_EQ(vals[static_cast<std::size_t>(fast[
+                          static_cast<std::size_t>(i)])],
+                      acc != 0);
+            EXPECT_EQ(vals[static_cast<std::size_t>(slow[
+                          static_cast<std::size_t>(i)])],
+                      acc != 0);
+        }
+    }
+}
+
+TEST(PrefixOr, FastVariantIsShallower)
+{
+    Netlist slow_nl, fast_nl;
+    {
+        NetBuilder b(slow_nl);
+        prefixOr(b, b.inputBus("x", 32));
+    }
+    {
+        NetBuilder b(fast_nl);
+        prefixOrFast(b, b.inputBus("x", 32));
+    }
+    EXPECT_LT(fast_nl.depth(), slow_nl.depth());
+}
+
+TEST(PrefixAnd, MatchesNaive)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    const auto in = b.inputBus("x", 9);
+    const auto pa = prefixAnd(b, in);
+    Rng rng(29);
+    for (int trial = 0; trial < 32; ++trial) {
+        const std::uint64_t x = rng.next() & 0x1FF;
+        const auto vals = nl.evaluate(bits(x, 9));
+        bool acc = true;
+        for (int i = 0; i < 9; ++i) {
+            acc = acc && ((x >> i) & 1);
+            EXPECT_EQ(vals[static_cast<std::size_t>(pa[
+                          static_cast<std::size_t>(i)])],
+                      acc);
+        }
+    }
+}
+
+} // namespace
+} // namespace otft::netlist

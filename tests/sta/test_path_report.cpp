@@ -1,0 +1,88 @@
+/** @file Unit tests for critical-path reporting. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "liberty/silicon.hpp"
+#include "netlist/generators.hpp"
+#include "sta/path_report.hpp"
+
+namespace otft::sta {
+namespace {
+
+netlist::Netlist
+chain(int n)
+{
+    netlist::Netlist nl;
+    netlist::NetBuilder b(nl);
+    netlist::GateId g = b.input("a");
+    for (int i = 0; i < n; ++i)
+        g = b.notGate(g);
+    b.output("o", g);
+    return nl;
+}
+
+TEST(PathReport, CoversWholeChain)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    StaEngine engine(lib);
+    const auto nl = chain(6);
+    const auto report = reportCriticalPath(engine, nl);
+    // Input + 6 inverters.
+    EXPECT_EQ(report.hops.size(), 7u);
+    EXPECT_EQ(report.hops.front().cell, "input");
+    EXPECT_EQ(report.hops.back().cell, "inv");
+}
+
+TEST(PathReport, ArrivalsMonotoneAndConsistent)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    StaEngine engine(lib);
+    netlist::Netlist nl;
+    {
+        netlist::NetBuilder b(nl);
+        const auto a = b.inputBus("a", 16);
+        const auto y = b.inputBus("y", 16);
+        b.outputBus("s", netlist::koggeStoneAdder(b, a, y).sum);
+    }
+    const auto report = reportCriticalPath(engine, nl);
+    double prev = -1.0;
+    double incr_sum = 0.0;
+    for (const auto &hop : report.hops) {
+        EXPECT_GE(hop.arrival, prev);
+        EXPECT_GE(hop.incremental, -1e-15);
+        prev = hop.arrival;
+        incr_sum += hop.incremental;
+    }
+    EXPECT_NEAR(incr_sum, report.hops.back().arrival, 1e-12);
+    EXPECT_NEAR(report.arrival, engine.analyze(nl).worstArrival,
+                1e-15);
+}
+
+TEST(PathReport, WireShareZeroWhenDisabled)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    StaConfig config;
+    config.wireEnabled = false;
+    StaEngine engine(lib, config);
+    const auto report = reportCriticalPath(engine, chain(5));
+    EXPECT_DOUBLE_EQ(report.totalWireDelay, 0.0);
+    EXPECT_DOUBLE_EQ(report.wireFraction, 0.0);
+}
+
+TEST(PathReport, RendersReadableText)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    StaEngine engine(lib);
+    const auto report = reportCriticalPath(engine, chain(3));
+    std::ostringstream os;
+    report.render(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("arrival"), std::string::npos);
+    EXPECT_NE(text.find("wire share"), std::string::npos);
+    EXPECT_NE(text.find("inv"), std::string::npos);
+}
+
+} // namespace
+} // namespace otft::sta

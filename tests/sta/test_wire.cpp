@@ -1,0 +1,78 @@
+/** @file Unit tests for the wireload model. */
+
+#include <gtest/gtest.h>
+
+#include "liberty/characterizer.hpp"
+#include "liberty/silicon.hpp"
+#include "sta/wire.hpp"
+
+namespace otft::sta {
+namespace {
+
+TEST(WireModel, DisabledIsFree)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    const WireModel model(lib.wire(), false);
+    const auto e = model.estimate(8, 1e-14);
+    EXPECT_DOUBLE_EQ(e.cap, 0.0);
+    EXPECT_DOUBLE_EQ(e.delay, 0.0);
+    EXPECT_FALSE(model.isEnabled());
+}
+
+TEST(WireModel, LengthGrowsWithFanout)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    const WireModel model(lib.wire());
+    const auto e1 = model.estimate(1, 1e-15);
+    const auto e8 = model.estimate(8, 8e-15);
+    EXPECT_GT(e8.length, e1.length);
+    EXPECT_GT(e8.cap, e1.cap);
+    EXPECT_GT(e8.delay, e1.delay);
+}
+
+TEST(WireModel, ExtraSpanAdds)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    const WireModel model(lib.wire());
+    const auto base = model.estimate(2, 2e-15);
+    const auto spanned = model.estimate(2, 2e-15, 100e-6);
+    EXPECT_NEAR(spanned.length - base.length, 100e-6, 1e-12);
+    EXPECT_GT(spanned.delay, base.delay);
+}
+
+TEST(WireModel, ZeroFanoutIsFree)
+{
+    const auto lib = liberty::makeSiliconLibrary();
+    const WireModel model(lib.wire());
+    const auto e = model.estimate(0, 0.0);
+    EXPECT_DOUBLE_EQ(e.delay, 0.0);
+}
+
+TEST(WireModel, PaperRatioOrganicVsSilicon)
+{
+    // The paper's core quantitative claim: the wire-to-gate delay
+    // ratio differs by orders of magnitude between the processes.
+    const auto si = liberty::makeSiliconLibrary();
+    const auto org = liberty::cachedOrganicLibrary(
+        "organic.lib");
+
+    const WireModel si_model(si.wire());
+    const WireModel org_model(org.wire());
+
+    const double si_gate = si.cell("inv").arc(0).worstDelay(
+        si.defaultSlew(), 4.0 * si.cell("inv").inputCap);
+    const double org_gate = org.cell("inv").arc(0).worstDelay(
+        org.defaultSlew(), 4.0 * org.cell("inv").inputCap);
+
+    const double si_wire =
+        si_model.estimate(4, 4.0 * si.cell("inv").inputCap).delay;
+    const double org_wire =
+        org_model.estimate(4, 4.0 * org.cell("inv").inputCap).delay;
+
+    const double si_ratio = si_wire / si_gate;
+    const double org_ratio = org_wire / org_gate;
+    EXPECT_GT(si_ratio / org_ratio, 10.0);
+}
+
+} // namespace
+} // namespace otft::sta

@@ -1,0 +1,39 @@
+/** @file Unit tests for util/logging. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace otft {
+namespace {
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    setQuiet(true);
+    try {
+        fatal("bad value ", 42, " in ", "context");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 42 in context");
+    }
+    setQuiet(false);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(inform("status ", 1));
+    EXPECT_NO_THROW(warn("warning ", 2.5));
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace otft

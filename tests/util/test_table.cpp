@@ -1,0 +1,72 @@
+/** @file Unit tests for util/table. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace otft {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.row().add("x").add(1.5, 3);
+    t.row().add("long-name").add(2.25, 3);
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(Table, CsvHasCommasAndRows)
+{
+    Table t({"a", "b"});
+    t.row().add(1LL).add(2LL);
+    t.row().add(3LL).add(4LL);
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, AddBeforeRowIsFatal)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.add("boom"), FatalError);
+}
+
+TEST(Table, NumRows)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().add("1");
+    t.row().add("2");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(FormatNumber, Precision)
+{
+    EXPECT_EQ(formatNumber(3.14159, 3), "3.14");
+    EXPECT_EQ(formatNumber(0.0001234, 2), "0.00012");
+}
+
+TEST(FormatSi, PicksSensiblePrefixes)
+{
+    EXPECT_EQ(formatSi(1.36e9, "Hz"), "1.36 GHz");
+    EXPECT_EQ(formatSi(200.0, "Hz"), "200 Hz");
+    EXPECT_EQ(formatSi(2.5e-3, "s"), "2.5 ms");
+    EXPECT_EQ(formatSi(42e-6, "W", 2), "42 uW");
+    EXPECT_EQ(formatSi(0.0, "Hz"), "0 Hz");
+}
+
+TEST(FormatSi, NegativeValues)
+{
+    EXPECT_EQ(formatSi(-1.3, "V", 2), "-1.3 V");
+}
+
+} // namespace
+} // namespace otft

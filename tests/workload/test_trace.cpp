@@ -1,0 +1,163 @@
+/** @file Unit tests for synthetic trace generation. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "workload/trace.hpp"
+
+namespace otft::workload {
+namespace {
+
+TEST(Workloads, SevenPaperWorkloads)
+{
+    const auto all = paperWorkloads();
+    ASSERT_EQ(all.size(), 7u);
+    std::vector<std::string> names;
+    for (const auto &p : all)
+        names.push_back(p.name);
+    for (const char *expect : {"bzip", "gap", "gzip", "mcf", "parser",
+                               "vortex", "dhrystone"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expect),
+                  names.end())
+            << expect;
+}
+
+TEST(Workloads, ProfileByNameAndUnknown)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_THROW(profileByName("spice"), FatalError);
+}
+
+TEST(TraceGenerator, Deterministic)
+{
+    const auto profile = profileByName("gzip");
+    TraceGenerator a(profile, 5), b(profile, 5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto ia = a.next();
+        const auto ib = b.next();
+        EXPECT_EQ(static_cast<int>(ia.op), static_cast<int>(ib.op));
+        EXPECT_EQ(ia.pc, ib.pc);
+        EXPECT_EQ(ia.taken, ib.taken);
+        EXPECT_EQ(ia.address, ib.address);
+    }
+}
+
+TEST(TraceGenerator, MixMatchesProfile)
+{
+    const auto profile = profileByName("mcf");
+    TraceGenerator gen(profile, 7);
+    std::map<OpClass, int> counts;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().op];
+
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::Branch]) / n,
+                profile.branchFraction, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::Load]) / n,
+                profile.loadFraction, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[OpClass::Store]) / n,
+                profile.storeFraction, 0.02);
+}
+
+TEST(TraceGenerator, BranchSitesAreBiased)
+{
+    // The per-site outcome streams must be learnable: most sites
+    // strongly biased (this is what the direction predictor exploits).
+    const auto profile = profileByName("dhrystone");
+    TraceGenerator gen(profile, 7);
+    std::map<std::uint64_t, std::pair<int, int>> sites;
+    for (int i = 0; i < 150000; ++i) {
+        const auto inst = gen.next();
+        if (inst.op != OpClass::Branch)
+            continue;
+        auto &s = sites[inst.pc];
+        ++s.second;
+        if (inst.taken)
+            ++s.first;
+    }
+    double predictable = 0.0, total = 0.0;
+    for (const auto &[pc, s] : sites) {
+        const double rate =
+            static_cast<double>(s.first) / s.second;
+        const double best = std::min(rate, 1.0 - rate);
+        predictable += best * s.second;
+        total += s.second;
+    }
+    // Ideal static-per-site mispredict rate well under 15%.
+    EXPECT_LT(predictable / total, 0.15);
+}
+
+TEST(TraceGenerator, RegistersInRange)
+{
+    const auto profile = profileByName("gap");
+    TraceGenerator gen(profile, 11);
+    for (int i = 0; i < 5000; ++i) {
+        const auto inst = gen.next();
+        for (int reg : {inst.src1, inst.src2, inst.dest}) {
+            if (reg != noReg) {
+                EXPECT_GE(reg, 0);
+                EXPECT_LT(reg, numArchRegs);
+            }
+        }
+        if (inst.op == OpClass::Branch) {
+            EXPECT_EQ(inst.dest, noReg);
+        }
+        if (inst.op == OpClass::Load) {
+            EXPECT_NE(inst.dest, noReg);
+        }
+    }
+}
+
+TEST(TraceGenerator, AddressesInsideWorkingSet)
+{
+    const auto profile = profileByName("bzip");
+    TraceGenerator gen(profile, 13);
+    for (int i = 0; i < 20000; ++i) {
+        const auto inst = gen.next();
+        if (inst.op != OpClass::Load && inst.op != OpClass::Store)
+            continue;
+        EXPECT_GE(inst.address, 0x10000u);
+        EXPECT_LE(inst.address,
+                  0x10000 + profile.workingSetBytes + 64);
+    }
+}
+
+TEST(TraceGenerator, McfLeastLocal)
+{
+    // mcf's profile must be the memory-hostile one.
+    const auto mcf = profileByName("mcf");
+    const auto dhry = profileByName("dhrystone");
+    EXPECT_LT(mcf.hotFraction, dhry.hotFraction);
+    EXPECT_GT(mcf.workingSetBytes, dhry.workingSetBytes);
+    EXPECT_GT(mcf.pointerChaseFraction, dhry.pointerChaseFraction);
+}
+
+/** Sweep: every paper workload generates well-formed traces. */
+class AllWorkloads : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllWorkloads, GeneratesSaneTraces)
+{
+    const auto profile = profileByName(GetParam());
+    TraceGenerator gen(profile, 99);
+    int branches = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto inst = gen.next();
+        if (inst.op == OpClass::Branch) {
+            ++branches;
+            EXPECT_NE(inst.target, 0u);
+        }
+    }
+    EXPECT_GT(branches, 20000 * profile.branchFraction * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllWorkloads,
+                         ::testing::Values("bzip", "gap", "gzip",
+                                           "mcf", "parser", "vortex",
+                                           "dhrystone"));
+
+} // namespace
+} // namespace otft::workload
