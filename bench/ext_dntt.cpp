@@ -21,13 +21,15 @@
 
 #include "core/synthesizer.hpp"
 #include "liberty/characterizer.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("ext_dntt", argc, argv, cli::Footer::On);
     std::printf("Extension — pentacene vs DNTT-class organic "
                 "library\n\n");
 
@@ -70,6 +72,8 @@ main()
             .add(timing.frequency / p_freq, 3);
     }
     core_table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(
+        cells_table.numRows() + core_table.numRows()));
 
     std::printf("\nContext: the paper cites an 8-bit hybrid "
                 "oxide-organic microprocessor at 2.1 kHz (Myny et "

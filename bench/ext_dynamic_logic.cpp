@@ -18,6 +18,7 @@
 
 #include "cells/topologies.hpp"
 #include "circuit/transient.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -100,8 +101,10 @@ measureDroop(const cells::CellFactory &factory)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("ext_dynamic_logic", argc, argv,
+                         cli::Footer::On);
     std::printf("Extension — dynamic vs static pseudo-E unipolar "
                 "logic\n\n");
     cells::CellFactory factory;
@@ -133,6 +136,7 @@ main()
             .add("-").add("-");
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(table.numRows()));
 
     const double droop = measureDroop(factory);
     std::printf("\ndynamic-node droop over a 50 ms hold: %.2f V "

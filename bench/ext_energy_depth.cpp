@@ -20,13 +20,14 @@
 #include "netlist/bufferize.hpp"
 #include "sta/pipeline.hpp"
 #include "sta/power.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 namespace {
 
-void
+std::size_t
 runSweep(const liberty::CellLibrary &library)
 {
     const auto alu = netlist::bufferize(core::buildComplexAlu(), 6);
@@ -65,19 +66,23 @@ runSweep(const liberty::CellLibrary &library)
     }
     table.render(std::cout);
     std::printf("energy-optimal depth: %d stages\n", best_stage);
+    return table.numRows();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("ext_energy_depth", argc, argv,
+                         cli::Footer::On);
     std::printf("Extension — energy per operation vs ALU pipeline "
                 "depth\n");
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
-    runSweep(silicon);
-    runSweep(organic);
+    std::size_t points = runSweep(silicon);
+    points += runSweep(organic);
+    session.setPoints(static_cast<std::int64_t>(points));
     std::printf("\nReading: organic energy/op keeps improving with "
                 "depth as long as frequency gains outrun the added "
                 "register static burn — throughput amortizes the "

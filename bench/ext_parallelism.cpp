@@ -18,13 +18,16 @@
 
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("ext_parallelism", argc, argv,
+                         cli::Footer::On);
     std::printf("Extension — parallel small organic cores vs one big "
                 "core\n\n");
     const auto organic = liberty::cachedOrganicLibrary();
@@ -85,6 +88,7 @@ main()
             .add(density / big_density, 3);
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(points.size()));
 
     std::printf("\nReading: per unit of (large, cheap) organic "
                 "substrate, arrays of narrow-but-deep cores deliver "

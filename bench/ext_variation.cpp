@@ -22,6 +22,7 @@
 #include "cells/topologies.hpp"
 #include "cells/vtc.hpp"
 #include "device/variation.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -51,8 +52,9 @@ measure(const device::Level61Params &params, double vss)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("ext_variation", argc, argv, cli::Footer::On);
     std::printf("Extension — Monte Carlo variation and per-sample VSS "
                 "retuning (VDD = 5 V)\n\n");
 
@@ -118,6 +120,7 @@ main()
             .add(s.nmTuned, 3);
     }
     table.render(std::cout);
+    session.setPoints(n_samples);
 
     const double y0 = yield([](const Sample &s) { return s.vmNominal; },
                             [](const Sample &s) { return s.nmNominal; });

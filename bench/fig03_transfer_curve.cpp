@@ -15,13 +15,16 @@
 #include "device/extraction.hpp"
 #include "device/measurement.hpp"
 #include "device/pentacene.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig03_transfer_curve", argc, argv,
+                         cli::Footer::On);
     const auto curves = device::measurePentaceneFig3();
     const device::ParameterExtractor extractor(
         device::Polarity::PType, device::pentaceneGeometry());
@@ -39,6 +42,8 @@ main()
             .add(curves[1].id[i], 3);
     }
     curve_table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(
+        curve_table.numRows()));
 
     Table fom({"parameter", "paper", "measured @1V", "measured @10V"});
     const auto p1 = extractor.extract(curves[0]);

@@ -15,13 +15,16 @@
 #include "device/fitting.hpp"
 #include "device/measurement.hpp"
 #include "device/pentacene.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig04_model_fit", argc, argv,
+                         cli::Footer::On);
     const auto curves = device::measurePentaceneFig3();
     const auto &curve = curves[0]; // |VDS| = 1 V
 
@@ -51,6 +54,7 @@ main()
             .add(std::abs(level61.drainCurrent(vgs, -1.0)), 3);
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(table.numRows()));
 
     Table quality({"model", "RMS log10(ID) error", "on-region RMS "
                    "relative error"});

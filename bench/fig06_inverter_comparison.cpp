@@ -14,14 +14,17 @@
 
 #include "cells/topologies.hpp"
 #include "cells/vtc.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 using cells::InverterKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig06_inverter_comparison", argc, argv,
+                         cli::Footer::On);
     struct Row
     {
         InverterKind kind;
@@ -62,6 +65,7 @@ main()
             .add(r.staticPowerHigh * 1e6, 3);
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(table.numRows()));
 
     std::printf("\nPaper values:\n");
     for (const Row &row : rows)

@@ -16,13 +16,16 @@
 
 #include "cells/topologies.hpp"
 #include "cells/vtc.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig07_vdd_scaling", argc, argv,
+                         cli::Footer::On);
     struct Point
     {
         double vdd;
@@ -60,6 +63,7 @@ main()
             .add(r.staticPowerHigh * 1e6, 3);
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(table.numRows()));
 
     std::printf("\nPaper: VM 2.4/4.6/7.7 V, gain ~3, NM 20-25%% VDD, "
                 "P(VIN=0) 13/98/215 uW.\n");

@@ -15,13 +15,16 @@
 #include "cells/topologies.hpp"
 #include "cells/vtc.hpp"
 #include "util/stats.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig08_vss_tuning", argc, argv,
+                         cli::Footer::On);
     std::printf("Fig. 8 — pseudo-E switching threshold vs VSS "
                 "(VDD = 5 V)\n\n");
 
@@ -43,6 +46,7 @@ main()
             r.voh, 3);
     }
     table.render(std::cout);
+    session.setPoints(static_cast<std::int64_t>(table.numRows()));
 
     const LineFit fit = fitLine(vss_points, vms);
     std::printf("\nlinear fit: VM = %.3f * VSS + %.2f (r^2 = %.3f)\n",

@@ -22,13 +22,14 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 namespace {
 
-void
+std::size_t
 runSweep(const liberty::CellLibrary &library)
 {
     core::ExplorerConfig config;
@@ -86,20 +87,24 @@ runSweep(const liberty::CellLibrary &library)
     perf.render(std::cout);
     std::printf("optimal depth: %d stages (%.2fx baseline "
                 "performance)\n", best_stage, best_perf);
+    return sweep.points.size();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig11_pipeline_depth", argc, argv,
+                         cli::Footer::On);
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
 
     std::printf("Fig. 11 — core area and performance vs pipeline "
                 "depth\n");
-    runSweep(silicon);
-    runSweep(organic);
+    std::size_t points = runSweep(silicon);
+    points += runSweep(organic);
+    session.setPoints(static_cast<std::int64_t>(points));
 
     std::printf("\nPaper: silicon optimum at 10-11 stages, organic at "
                 "14-15; areas roughly flat; baselines ~800 MHz / "

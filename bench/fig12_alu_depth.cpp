@@ -17,13 +17,14 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 namespace {
 
-void
+std::size_t
 runSweep(const liberty::CellLibrary &library)
 {
     core::ArchExplorer explorer(library);
@@ -56,20 +57,24 @@ runSweep(const liberty::CellLibrary &library)
             break;
         }
     }
+    return points.size();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig12_alu_depth", argc, argv,
+                         cli::Footer::On);
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
 
     std::printf("Fig. 12 — complex ALU area and frequency vs pipeline "
                 "depth\n");
-    runSweep(silicon);
-    runSweep(organic);
+    std::size_t points = runSweep(silicon);
+    points += runSweep(organic);
+    session.setPoints(static_cast<std::int64_t>(points));
 
     std::printf("\nPaper: silicon saturates near 8 stages; organic "
                 "keeps scaling to ~22 stages with area growing to "

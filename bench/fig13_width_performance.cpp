@@ -17,13 +17,14 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 namespace {
 
-void
+std::size_t
 runSweep(const liberty::CellLibrary &library)
 {
     core::ExplorerConfig config;
@@ -71,19 +72,27 @@ runSweep(const liberty::CellLibrary &library)
     std::printf("back-end 3 -> 7 performance change at fe=%d: "
                 "%+.1f%%\n", best_fe,
                 100.0 * (at_be7 / at_be3 - 1.0));
+
+    std::size_t n = 0;
+    for (const auto &row : sweep.points)
+        n += row.size();
+    return n;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig13_width_performance", argc, argv,
+                         cli::Footer::On);
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
 
     std::printf("Fig. 13 — core performance vs superscalar widths\n");
-    runSweep(silicon);
-    runSweep(organic);
+    std::size_t points = runSweep(silicon);
+    points += runSweep(organic);
+    session.setPoints(static_cast<std::int64_t>(points));
 
     std::printf("\nPaper: silicon optimum M[4][2] with pronounced "
                 "differences between neighbors; organic optimum three "

@@ -16,6 +16,7 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -63,14 +64,20 @@ areaMatrix(const liberty::CellLibrary &library)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig14_width_area", argc, argv,
+                         cli::Footer::On);
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
 
     std::printf("Fig. 14 — core area vs superscalar widths\n");
     const auto si = areaMatrix(silicon);
     const auto org = areaMatrix(organic);
+    std::size_t points = 0;
+    for (const auto &row : si)
+        points += row.size();
+    session.setPoints(static_cast<std::int64_t>(points));
 
     // Paper check: "the areas for silicon-based cores are similar to
     // the organic core areas" — report the max normalized deviation.

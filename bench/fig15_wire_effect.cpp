@@ -19,6 +19,7 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -52,8 +53,11 @@ coreSweep(const liberty::CellLibrary &library, bool wire)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("fig15_wire_effect", argc, argv,
+                         cli::Footer::On);
+    std::size_t points = 0;
     const auto organic = liberty::cachedOrganicLibrary();
     const auto silicon = liberty::makeSiliconLibrary();
 
@@ -66,6 +70,7 @@ main()
         const auto org_nw = aluSweep(organic, false);
         Table table({"stages", "Si (norm)", "Si w/o wire", "Org (norm)",
                      "Org w/o wire"});
+        points += si_w.size();
         for (std::size_t i = 0; i < si_w.size(); ++i) {
             table.row()
                 .add(static_cast<long long>(si_w[i].stages))
@@ -89,6 +94,7 @@ main()
         const std::size_t n =
             std::min(std::min(si_w.size(), si_nw.size()),
                      std::min(org_w.size(), org_nw.size()));
+        points += n;
         for (std::size_t i = 0; i < n; ++i) {
             table.row()
                 .add(static_cast<long long>(si_w[i].first))
@@ -114,5 +120,6 @@ main()
     std::printf("\nPaper: without wire cost the amount of logic per "
                 "stage becomes similar for both processes; the "
                 "silicon curve moves toward the organic one.\n");
+    session.setPoints(static_cast<std::int64_t>(points));
     return 0;
 }

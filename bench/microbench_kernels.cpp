@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "arch/core.hpp"
 #include "cells/topologies.hpp"
 #include "circuit/dc.hpp"
@@ -17,6 +19,7 @@
 #include "netlist/generators.hpp"
 #include "sta/pipeline.hpp"
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 using namespace otft;
 
@@ -134,4 +137,17 @@ BENCHMARK(BM_CoreModel10k);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Timings here gauge the framework's raw kernel cost, so stats
+    // and tracing stay off unless explicitly requested.
+    if (std::getenv("OTFT_STATS") == nullptr)
+        stats::Registry::instance().setEnabled(false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

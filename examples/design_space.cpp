@@ -18,6 +18,7 @@
 #include "netlist/bufferize.hpp"
 #include "core/blocks.hpp"
 #include "sta/path_report.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -25,6 +26,7 @@ using namespace otft;
 int
 main(int argc, char **argv)
 {
+    cli::Session session("design_space", argc, argv);
     const int max_stages = argc > 1 ? std::atoi(argv[1]) : 13;
 
     const auto organic = liberty::cachedOrganicLibrary();

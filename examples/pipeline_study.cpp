@@ -19,6 +19,7 @@
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -26,6 +27,7 @@ using namespace otft;
 int
 main(int argc, char **argv)
 {
+    cli::Session session("pipeline_study", argc, argv);
     const std::string workload = argc > 1 ? argv[1] : "gzip";
     const std::string tech = argc > 2 ? argv[2] : "organic";
     const int max_stages = argc > 3 ? std::atoi(argv[3]) : 15;

@@ -6,29 +6,32 @@
  *   2. Build a pseudo-E inverter and read its VTC parameters.
  *   3. Characterize the organic library (cached) and compare an
  *      inverter arc against the 45 nm silicon library.
- *   4. Synthesize the 9-stage baseline core in both technologies and
- *      print frequency/area.
+ *   4. Synthesize and simulate the 9-stage baseline core in both
+ *      technologies and print frequency/area/performance.
  *
  * Build & run:  ./build/examples/quickstart
+ * Add --stats-json <path> (or --stats) to dump the run's telemetry.
  */
 
 #include <cstdio>
 
 #include "cells/topologies.hpp"
 #include "cells/vtc.hpp"
-#include "core/synthesizer.hpp"
+#include "core/explorer.hpp"
 #include "device/extraction.hpp"
 #include "device/measurement.hpp"
 #include "device/pentacene.hpp"
 #include "liberty/characterizer.hpp"
 #include "liberty/silicon.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("quickstart", argc, argv);
     // --- 1. Device: measure and extract.
     std::printf("== 1. pentacene OTFT ==\n");
     const auto curves = device::measurePentaceneFig3();
@@ -67,14 +70,17 @@ main()
 
     // --- 4. Cores: the 9-stage baseline under each technology.
     std::printf("\n== 4. 9-stage baseline core ==\n");
+    core::ExplorerConfig explore;
+    explore.instructions = 20000; // quick IPC estimate
     for (const liberty::CellLibrary *lib : {&silicon, &organic}) {
-        core::CoreSynthesizer synth(*lib);
-        const auto timing = synth.synthesize(arch::baselineConfig());
-        std::printf("%-9s f = %-12s area = %.4g mm^2  critical "
-                    "stage: %s\n",
+        core::ArchExplorer explorer(*lib, explore);
+        const auto point = explorer.evaluate(arch::baselineConfig());
+        std::printf("%-9s f = %-12s area = %.4g mm^2  IPC = %.2f  "
+                    "critical stage: %s\n",
                     lib->name().c_str(),
-                    formatSi(timing.frequency, "Hz").c_str(),
-                    timing.area * 1e6, arch::toString(timing.critical));
+                    formatSi(point.timing.frequency, "Hz").c_str(),
+                    point.timing.area * 1e6, point.meanIpc,
+                    arch::toString(point.timing.critical));
     }
     std::printf("\nNext: run the bench/fig* binaries to regenerate "
                 "every figure of the paper.\n");

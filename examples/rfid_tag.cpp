@@ -18,6 +18,7 @@
 
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -33,8 +34,9 @@ constexpr double readerTimeout = 20.0; // seconds, contactless-slow
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cli::Session session("rfid_tag", argc, argv);
     std::printf("Organic RFID tag study: %g-instruction transaction, "
                 "%.0f s reader timeout\n\n",
                 instructionsPerTransaction, readerTimeout);

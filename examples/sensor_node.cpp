@@ -19,6 +19,7 @@
 
 #include "core/explorer.hpp"
 #include "liberty/characterizer.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace otft;
@@ -34,6 +35,7 @@ constexpr double instructionsPerSample = 2000.0;
 int
 main(int argc, char **argv)
 {
+    cli::Session session("sensor_node", argc, argv);
     double samples_per_second = 0.05; // one sample every 20 s
     if (argc > 1)
         samples_per_second = std::atof(argv[1]);

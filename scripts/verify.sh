@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure (warnings as errors), build, and run
+# the tier1-labelled test suite. This is the gate every change must
+# pass; CI runs exactly this script.
+#
+# Usage: scripts/verify.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "$(dirname "$0")/.." -DOTFT_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"

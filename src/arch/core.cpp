@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::arch {
 
@@ -310,6 +311,15 @@ CoreModel::run(std::uint64_t instruction_count,
     if (cycle >= max_cycles)
         warn("CoreModel: cycle limit reached (deadlock?)");
     stats.cycles = cycle - measure_start;
+
+    // `stats` names the member here, so qualify the namespace fully.
+    static otft::stats::Counter &stat_insts = otft::stats::counter(
+        "arch.instructions.simulated",
+        "instructions committed in the measured phase");
+    static otft::stats::Counter &stat_cycles = otft::stats::counter(
+        "arch.cycles.simulated", "cycles in the measured phase");
+    stat_insts += stats.instructions;
+    stat_cycles += stats.cycles;
     return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::circuit {
 
@@ -20,9 +22,21 @@ DcAnalysis::operatingPoint() const
 Solution
 DcAnalysis::operatingPoint(const Solution &initial_guess) const
 {
+    static stats::Counter &stat_solves = stats::counter(
+        "circuit.dc.solves", "DC operating points computed");
+    static stats::Counter &stat_source_step = stats::counter(
+        "circuit.dc.source_stepping",
+        "operating points that needed source-stepping homotopy");
+    static stats::Counter &stat_gmin_step = stats::counter(
+        "circuit.dc.gmin_stepping",
+        "operating points that needed gmin stepping");
+    OTFT_TRACE_SCOPE("circuit.dc.solve");
+
+    ++stat_solves;
     Solution x = initial_guess;
     if (mna.solveNewton(x, 0.0, 1.0, 0.0, nullptr))
         return x;
+    ++stat_source_step;
 
     // Source-stepping homotopy: ramp all sources from zero with a
     // quadratic schedule (fine steps near zero, where strongly
@@ -45,6 +59,7 @@ DcAnalysis::operatingPoint(const Solution &initial_guess) const
     // ground (which linearizes the system), then relax it toward the
     // configured gmin, warm starting throughout — the same
     // continuation SPICE uses when source stepping fails.
+    ++stat_gmin_step;
     x = mna.zeroSolution();
     NewtonConfig relaxed = mna.config();
     bool have_solution = false;

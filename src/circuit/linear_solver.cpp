@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/stats_registry.hpp"
+
 namespace otft::circuit {
 
 bool
 solveLinear(Matrix &a, std::vector<double> &b)
 {
+    static stats::Counter &stat_factor = stats::counter(
+        "circuit.lu.factorizations", "LU factorizations performed");
+    static stats::Counter &stat_singular = stats::counter(
+        "circuit.lu.singular", "LU factorizations that hit a near-zero "
+                               "pivot");
+
     const std::size_t n = a.size();
     if (b.size() != n)
         return false;
+    ++stat_factor;
 
     std::vector<std::size_t> perm(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -27,8 +36,10 @@ solveLinear(Matrix &a, std::vector<double> &b)
                 pivot = r;
             }
         }
-        if (best < 1e-30)
+        if (best < 1e-30) {
+            ++stat_singular;
             return false;
+        }
         if (pivot != k) {
             for (std::size_t c = 0; c < n; ++c)
                 std::swap(a.at(k, c), a.at(pivot, c));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::circuit {
 
@@ -154,16 +155,42 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
     if (x.size() != unknowns)
         fatal("Mna::solveNewton: bad solution vector size");
 
+    static stats::Counter &stat_solves = stats::counter(
+        "circuit.newton.solves", "Newton solves attempted");
+    static stats::Counter &stat_iters = stats::counter(
+        "circuit.newton.iterations", "Newton iterations executed");
+    static stats::Counter &stat_failures = stats::counter(
+        "circuit.newton.failures", "Newton solves that diverged");
+    static stats::Histogram &stat_iter_hist = stats::histogram(
+        "circuit.newton.iterations_per_solve", 0.0, 64.0, 16,
+        "distribution of iterations per converged solve");
+    static stats::Accumulator &stat_time = stats::accumulator(
+        "circuit.newton.solve_time", "seconds per Newton solve");
+    static const bool rates_registered = [] {
+        stats::Registry::instance().rate(
+            "circuit.newton.mean_iterations",
+            "circuit.newton.iterations", "circuit.newton.solves",
+            "mean Newton iterations per solve");
+        return true;
+    }();
+    (void)rates_registered;
+
+    ++stat_solves;
+    stats::ScopedTimer timer(stat_time);
+
     Matrix jac(unknowns);
     std::vector<double> residual(unknowns, 0.0);
 
     for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+        ++stat_iters;
         assemble(x, time, source_scale, dt, x_prev, jac, residual);
 
         // Solve J * delta = residual; update is x -= delta.
         std::vector<double> delta = residual;
-        if (!solveLinear(jac, delta))
+        if (!solveLinear(jac, delta)) {
+            ++stat_failures;
             return false;
+        }
 
         double max_update = 0.0;
         for (std::size_t i = 0; i < unknowns; ++i) {
@@ -175,9 +202,12 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
             if (i < numNodeUnknowns)
                 max_update = std::max(max_update, std::abs(step));
         }
-        if (max_update < cfg.tolerance)
+        if (max_update < cfg.tolerance) {
+            stat_iter_hist.sample(static_cast<double>(iter + 1));
             return true;
+        }
     }
+    ++stat_failures;
     return false;
 }
 

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::circuit {
 
@@ -62,6 +64,16 @@ TransientAnalysis::run(const TransientConfig &config) const
     if (config.tStop <= 0.0 || config.dt <= 0.0)
         fatal("TransientAnalysis: tStop and dt must be positive");
 
+    static stats::Counter &stat_runs = stats::counter(
+        "circuit.transient.runs", "transient analyses executed");
+    static stats::Counter &stat_steps = stats::counter(
+        "circuit.transient.steps", "transient time steps integrated");
+    static stats::Counter &stat_retries = stats::counter(
+        "circuit.transient.retries",
+        "time steps that needed step halving");
+    OTFT_TRACE_SCOPE("circuit.transient.run");
+    ++stat_runs;
+
     Mna mna(ckt, config.newton);
 
     // Build the time grid: uniform steps plus waveform breakpoints.
@@ -99,8 +111,10 @@ TransientAnalysis::run(const TransientConfig &config) const
     for (std::size_t k = 1; k < times.size(); ++k) {
         const double t = times[k];
         const double h = t - times[k - 1];
+        ++stat_steps;
         Solution x_next = x;
         if (!mna.solveNewton(x_next, t, 1.0, h, &x)) {
+            ++stat_retries;
             // Retry with the step halved (two sub-steps).
             const double t_mid = times[k - 1] + 0.5 * h;
             Solution x_mid = x;

@@ -4,6 +4,8 @@
 #include "netlist/bufferize.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::core {
 
@@ -17,6 +19,12 @@ ArchExplorer::ArchExplorer(const liberty::CellLibrary &library,
 std::vector<double>
 ArchExplorer::measureIpc(const arch::CoreConfig &config)
 {
+    static stats::Accumulator &stat_sim_time = stats::accumulator(
+        "explorer.point.sim_time",
+        "seconds simulating IPC per design point");
+    OTFT_TRACE_SCOPE("explorer.point.simulate");
+    stats::ScopedTimer timer(stat_sim_time);
+
     std::vector<double> ipc;
     ipc.reserve(workloads.size());
     for (const auto &profile : workloads) {
@@ -30,9 +38,21 @@ ArchExplorer::measureIpc(const arch::CoreConfig &config)
 DesignPoint
 ArchExplorer::evaluate(const arch::CoreConfig &config)
 {
+    static stats::Counter &stat_points = stats::counter(
+        "explorer.points.evaluated",
+        "design points synthesized and simulated");
+    static stats::Accumulator &stat_synth_time = stats::accumulator(
+        "explorer.point.synth_time",
+        "seconds synthesizing per design point");
+    OTFT_TRACE_SCOPE("explorer.point.evaluate");
+    ++stat_points;
+
     DesignPoint point;
     point.config = config;
-    point.timing = synth.synthesize(config);
+    {
+        stats::ScopedTimer timer(stat_synth_time);
+        point.timing = synth.synthesize(config);
+    }
     point.ipc = measureIpc(config);
     point.meanIpc = mean(point.ipc);
     point.performance = point.meanIpc * point.timing.frequency;
@@ -42,6 +62,7 @@ ArchExplorer::evaluate(const arch::CoreConfig &config)
 DepthSweep
 ArchExplorer::depthSweep(int max_stages)
 {
+    OTFT_TRACE_SCOPE("explorer.sweep.depth");
     DepthSweep sweep;
     sweep.libraryName = library.name();
     for (const auto &profile : workloads)
@@ -63,6 +84,7 @@ ArchExplorer::depthSweep(int max_stages)
 WidthSweep
 ArchExplorer::widthSweep(int fe_min, int fe_max, int be_min, int be_max)
 {
+    OTFT_TRACE_SCOPE("explorer.sweep.width");
     WidthSweep sweep;
     sweep.libraryName = library.name();
     sweep.feMin = fe_min;

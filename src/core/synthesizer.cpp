@@ -7,6 +7,8 @@
 #include "core/blocks.hpp"
 #include "netlist/bufferize.hpp"
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::core {
 
@@ -39,6 +41,11 @@ CoreSynthesizer::block(Region region, const CoreConfig &config)
 CoreTiming
 CoreSynthesizer::synthesize(const CoreConfig &config)
 {
+    static stats::Counter &stat_calls = stats::counter(
+        "synth.cores.synthesized", "core configurations synthesized");
+    OTFT_TRACE_SCOPE("synth.core.synthesize");
+    ++stat_calls;
+
     CoreTiming timing;
 
     static constexpr Region all_regions[] = {
@@ -52,8 +59,18 @@ CoreSynthesizer::synthesize(const CoreConfig &config)
                                          config.fetchWidth,
                                          config.aluPipes,
                                          config.stagesIn(region));
+        static stats::Counter &stat_hits = stats::counter(
+            "synth.region_cache.hits",
+            "region timings served from the cache");
+        static stats::Counter &stat_misses = stats::counter(
+            "synth.region_cache.misses",
+            "region timings computed (pipeline + STA)");
         auto cached = timingCache.find(key);
-        if (cached == timingCache.end()) {
+        if (cached != timingCache.end()) {
+            ++stat_hits;
+        } else {
+            ++stat_misses;
+            OTFT_TRACE_SCOPE("synth.region.time");
             const netlist::Netlist &comb = block(region, config);
             const auto report =
                 pipeliner.pipeline(comb, config.stagesIn(region));

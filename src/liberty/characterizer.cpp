@@ -7,6 +7,8 @@
 #include "circuit/transient.hpp"
 #include "liberty/serialize.hpp"
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::liberty {
 
@@ -52,6 +54,12 @@ Characterizer::ArcPoint
 Characterizer::measurePoint(const std::string &name, int pin, double slew,
                             double load_cap) const
 {
+    static stats::Counter &stat_points = stats::counter(
+        "liberty.points.measured",
+        "NLDM grid points measured (one transient each)");
+    OTFT_TRACE_SCOPE("liberty.point.measure");
+    ++stat_points;
+
     cells::BuiltCell cell = instantiate(name, load_cap);
     const double vdd = factory.supply().vdd;
 
@@ -138,6 +146,11 @@ Characterizer::averageStaticPower(const std::string &name) const
 StdCell
 Characterizer::characterizeCombinational(const std::string &name) const
 {
+    static stats::Counter &stat_cells = stats::counter(
+        "liberty.cells.characterized", "standard cells characterized");
+    OTFT_TRACE_SCOPE("liberty.cell.characterize");
+    ++stat_cells;
+
     StdCell cell;
     cell.name = name;
     cell.fanIn = fanInOf(name);
@@ -151,7 +164,10 @@ Characterizer::characterizeCombinational(const std::string &name) const
     for (double m : config_.loadMultipliers)
         load_axis.push_back(m * cell.inputCap);
 
+    static stats::Counter &stat_arcs = stats::counter(
+        "liberty.arcs.characterized", "timing arcs characterized");
     for (int pin = 0; pin < cell.fanIn; ++pin) {
+        ++stat_arcs;
         TimingArc arc;
         arc.fromPin = std::string(1, static_cast<char>('a' + pin));
         std::vector<double> d_rise, d_fall, s_rise, s_fall;
@@ -215,6 +231,11 @@ Characterizer::flopCaptures(double d_lead, double load_cap) const
 StdCell
 Characterizer::characterizeFlop() const
 {
+    static stats::Counter &stat_cells = stats::counter(
+        "liberty.cells.characterized", "standard cells characterized");
+    OTFT_TRACE_SCOPE("liberty.cell.characterize");
+    ++stat_cells;
+
     StdCell cell;
     cell.name = "dff";
     cell.fanIn = 1; // the D pin; CK/PRE/CLR handled separately
@@ -328,6 +349,7 @@ Characterizer::characterizeFlop() const
 CellLibrary
 Characterizer::build() const
 {
+    OTFT_TRACE_SCOPE("liberty.library.build");
     CellLibrary library("organic", factory.supply().vdd);
 
     for (const char *name : combinationalNames)

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::liberty {
 
@@ -181,12 +182,23 @@ loadLibrary(const std::string &path)
 std::optional<CellLibrary>
 tryLoadLibrary(const std::string &path)
 {
+    static stats::Counter &stat_hits = stats::counter(
+        "liberty.cache.hits", "library loads served from disk cache");
+    static stats::Counter &stat_misses = stats::counter(
+        "liberty.cache.misses",
+        "library loads that fell back to characterization");
+
     std::ifstream is(path);
-    if (!is)
+    if (!is) {
+        ++stat_misses;
         return std::nullopt;
+    }
     try {
-        return readLibrary(is);
+        CellLibrary library = readLibrary(is);
+        ++stat_hits;
+        return library;
     } catch (const FatalError &) {
+        ++stat_misses;
         warn("liberty: cached library at ", path,
              " is unreadable; rebuilding");
         return std::nullopt;

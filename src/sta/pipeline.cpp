@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::sta {
 
@@ -85,6 +87,14 @@ struct StageAssigner
 PipelineReport
 Pipeliner::pipeline(const Netlist &comb, int stages) const
 {
+    static stats::Counter &stat_runs = stats::counter(
+        "sta.pipeline.runs", "netlists pipelined");
+    static stats::Counter &stat_flops = stats::counter(
+        "sta.pipeline.inserted_flops",
+        "registers inserted by the pipeliner");
+    OTFT_TRACE_SCOPE("sta.pipeline.cut");
+    ++stat_runs;
+
     if (stages < 1)
         fatal("Pipeliner: stages must be >= 1, got ", stages);
     if (!comb.dffs().empty())
@@ -211,6 +221,7 @@ Pipeliner::pipeline(const Netlist &comb, int stages) const
             delayed(port.gate, (stages - 1) - stage[g]);
         out.addOutput(port.name, aligned);
     }
+    stat_flops += static_cast<std::uint64_t>(report.insertedFlops);
     return report;
 }
 

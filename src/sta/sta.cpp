@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
 
 namespace otft::sta {
 
@@ -15,6 +17,24 @@ using netlist::Netlist;
 StaEngine::Propagation
 StaEngine::propagate(const Netlist &nl) const
 {
+    static stats::Counter &stat_passes = stats::counter(
+        "sta.levelization.passes",
+        "topological propagation passes over a netlist");
+    static stats::Counter &stat_arcs = stats::counter(
+        "sta.arcs.evaluated", "timing arc lookups during propagation");
+    static stats::Counter &stat_wires = stats::counter(
+        "sta.wire.evaluations", "wireload model evaluations");
+    static const bool rates_registered = [] {
+        stats::Registry::instance().rate(
+            "sta.arcs_per_pass", "sta.arcs.evaluated",
+            "sta.levelization.passes",
+            "mean arcs evaluated per propagation pass");
+        return true;
+    }();
+    (void)rates_registered;
+    OTFT_TRACE_SCOPE("sta.propagate");
+    ++stat_passes;
+
     const std::size_t n = nl.numGates();
     const auto fanouts = nl.fanouts();
     const liberty::StdCell &dff_cell = library.cell("dff");
@@ -46,6 +66,7 @@ StaEngine::propagate(const Netlist &nl) const
             if (cell_name)
                 sink_cap += library.cell(cell_name).inputCap;
         }
+        ++stat_wires;
         const WireEstimate wire = wireModel.estimate(
             static_cast<int>(fanouts[g].size()), sink_cap, span);
         p.netLoad[g] = sink_cap + wire.cap;
@@ -94,6 +115,7 @@ StaEngine::propagate(const Netlist &nl) const
             const std::size_t s = static_cast<std::size_t>(src);
             if (p.arrival[s] < 0.0)
                 continue; // constant fanin
+            ++stat_arcs;
             const liberty::TimingArc &arc = cell.arc(pin);
             const double t = p.arrival[s] + p.netWireDelay[s] +
                              arc.worstDelay(p.slew[s], p.netLoad[g]);
@@ -125,6 +147,11 @@ StaEngine::arrivalTimes(const Netlist &nl) const
 StaResult
 StaEngine::analyze(const Netlist &nl) const
 {
+    static stats::Counter &stat_analyses = stats::counter(
+        "sta.analyses", "full STA analyses performed");
+    OTFT_TRACE_SCOPE("sta.analyze");
+    ++stat_analyses;
+
     const Propagation p = propagate(nl);
     const liberty::StdCell &dff_cell = library.cell("dff");
 

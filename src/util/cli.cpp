@@ -1,0 +1,102 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
+
+namespace otft::cli {
+
+namespace {
+
+/**
+ * Remove argv[i] (and optionally its value argument) from argv,
+ * shifting the tail down and shrinking argc.
+ */
+void
+consumeArgs(int &argc, char **argv, int i, int count)
+{
+    for (int k = i; k + count < argc; ++k)
+        argv[k] = argv[k + count];
+    argc -= count;
+}
+
+} // namespace
+
+Session::Session(std::string name_in, int &argc, char **argv,
+                 Footer footer_in)
+    : name(std::move(name_in)), footer(footer_in == Footer::On),
+      startNs(stats::monotonicNowNs())
+{
+    int i = 1;
+    while (i < argc) {
+        const char *arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--stats") == 0) {
+            statsText = true;
+            consumeArgs(argc, argv, i, 1);
+        } else if (std::strcmp(arg, "--stats-json") == 0) {
+            if (!has_value)
+                fatal("cli: --stats-json requires a path");
+            statsJsonPath = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--trace-json") == 0) {
+            if (!has_value)
+                fatal("cli: --trace-json requires a path");
+            traceJsonPath = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else {
+            ++i;
+        }
+    }
+
+    if (const char *env = std::getenv("OTFT_STATS"))
+        statsText = statsText || std::strcmp(env, "0") != 0;
+    if (statsJsonPath.empty())
+        if (const char *env = std::getenv("OTFT_STATS_JSON"))
+            statsJsonPath = env;
+    if (traceJsonPath.empty())
+        if (const char *env = std::getenv("OTFT_TRACE_JSON"))
+            traceJsonPath = env;
+
+    if (!traceJsonPath.empty())
+        trace::start(traceJsonPath);
+}
+
+Session::~Session()
+{
+    if (!traceJsonPath.empty())
+        trace::stop();
+
+    const auto &registry = stats::Registry::instance();
+    if (!statsJsonPath.empty()) {
+        std::ofstream os(statsJsonPath);
+        if (!os) {
+            warn("cli: cannot write stats to ", statsJsonPath);
+        } else {
+            registry.dumpJson(os);
+            inform("stats: wrote ", statsJsonPath);
+        }
+    }
+    if (statsText) {
+        std::fprintf(stderr, "\n== stats: %s ==\n", name.c_str());
+        registry.dumpText(std::cerr);
+    }
+
+    if (footer) {
+        const double wall_s =
+            static_cast<double>(stats::monotonicNowNs() - startNs) *
+            1e-9;
+        std::printf("{\"bench\": \"%s\", \"wall_s\": %.3f, "
+                    "\"points\": %lld}\n",
+                    name.c_str(), wall_s,
+                    static_cast<long long>(points));
+    }
+}
+
+} // namespace otft::cli

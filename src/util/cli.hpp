@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared driver shell for the bench and example binaries: strips the
+ * observability flags from argv, honors the OTFT_* environment
+ * overrides, and on exit emits the stats report, the trace timeline,
+ * and (for benches) a one-line machine-readable JSON footer.
+ *
+ * Flags / environment handled:
+ *   --stats-json <path>   write the stats registry as JSON on exit
+ *   --stats               print the stats text table to stderr on exit
+ *   --trace-json <path>   collect a Chrome trace_event timeline
+ *   OTFT_STATS=1          same as --stats
+ *   OTFT_STATS_JSON=path  same as --stats-json
+ *   OTFT_TRACE_JSON=path  same as --trace-json
+ */
+
+#ifndef OTFT_UTIL_CLI_HPP
+#define OTFT_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace otft::cli {
+
+/** Footer behavior for Session. */
+enum class Footer { Off, On };
+
+/**
+ * RAII driver session. Construct first thing in main() (it consumes
+ * the observability flags so the driver's own argument handling never
+ * sees them); destruction emits the requested reports. With
+ * Footer::On the last stdout line is
+ * `{"bench": "<name>", "wall_s": <t>, "points": <n>}`.
+ */
+class Session
+{
+  public:
+    Session(std::string name, int &argc, char **argv,
+            Footer footer = Footer::Off);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Record the number of sweep/result points for the footer. */
+    void setPoints(std::int64_t n) { points = n; }
+
+  private:
+    std::string name;
+    bool footer;
+    bool statsText = false;
+    std::string statsJsonPath;
+    std::string traceJsonPath;
+    std::int64_t points = 0;
+    std::int64_t startNs;
+};
+
+} // namespace otft::cli
+
+#endif // OTFT_UTIL_CLI_HPP

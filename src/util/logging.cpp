@@ -3,11 +3,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/stats_registry.hpp"
+
 namespace otft {
 
 namespace {
 
 bool quietFlag = false;
+bool levelLoaded = false;
+LogLevel configuredLevel = LogLevel::Info;
+
+LogLevel
+configured()
+{
+    if (!levelLoaded) {
+        levelLoaded = true;
+        if (const char *env = std::getenv("OTFT_LOG_LEVEL"))
+            configuredLevel = logLevelFromString(env, LogLevel::Info);
+    }
+    return configuredLevel;
+}
 
 } // namespace
 
@@ -23,19 +38,57 @@ isQuiet()
     return quietFlag;
 }
 
+void
+setLogLevel(LogLevel level)
+{
+    levelLoaded = true;
+    configuredLevel = level;
+}
+
+LogLevel
+effectiveLogLevel()
+{
+    return quietFlag ? LogLevel::Silent : configured();
+}
+
+LogLevel
+logLevelFromString(const std::string &text, LogLevel fallback)
+{
+    if (text == "silent" || text == "0")
+        return LogLevel::Silent;
+    if (text == "warn" || text == "warning" || text == "1")
+        return LogLevel::Warn;
+    if (text == "info" || text == "2")
+        return LogLevel::Info;
+    return fallback;
+}
+
 namespace detail {
+
+void
+reloadLogLevelFromEnv()
+{
+    levelLoaded = false;
+    configuredLevel = LogLevel::Info;
+    (void)configured();
+}
 
 void
 emitInform(const std::string &msg)
 {
-    if (!quietFlag)
+    if (effectiveLogLevel() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 emitWarn(const std::string &msg)
 {
-    if (!quietFlag)
+    // Single warning sink: every warn() is counted, printed or not,
+    // so warning volume shows up in the stats report.
+    static stats::Counter &warnings =
+        stats::counter("log.warnings", "warn() calls emitted");
+    ++warnings;
+    if (effectiveLogLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

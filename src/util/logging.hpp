@@ -81,11 +81,41 @@ panic(Args &&...args)
     detail::emitPanic(detail::formatMessage(std::forward<Args>(args)...));
 }
 
-/** Suppress inform()/warn() output (used by tests to keep logs clean). */
+/** Output verbosity, lowest to highest. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2 };
+
+/**
+ * Suppress inform()/warn() output (used by tests to keep logs clean).
+ * Quiet gates everything, including any OTFT_LOG_LEVEL override:
+ * while quiet is set the effective level is Silent. Suppressed
+ * warnings are still counted in the `log.warnings` stat.
+ */
 void setQuiet(bool quiet);
 
 /** @return true when inform()/warn() output is suppressed. */
 bool isQuiet();
+
+/** Set the verbosity for non-quiet operation (default Info). */
+void setLogLevel(LogLevel level);
+
+/**
+ * The level that currently applies: Silent when quiet is set,
+ * otherwise the configured level. The first call reads the
+ * OTFT_LOG_LEVEL environment variable ("silent"/"warn"/"info" or
+ * 0/1/2) as the initial configured level.
+ */
+LogLevel effectiveLogLevel();
+
+/** Parse an OTFT_LOG_LEVEL value; fallback on unrecognized input. */
+LogLevel logLevelFromString(const std::string &text,
+                            LogLevel fallback = LogLevel::Info);
+
+namespace detail {
+
+/** Re-read OTFT_LOG_LEVEL (test hook; startup reads it once). */
+void reloadLogLevelFromEnv();
+
+} // namespace detail
 
 } // namespace otft
 

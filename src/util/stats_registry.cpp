@@ -1,0 +1,525 @@
+#include "util/stats_registry.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace otft::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), bins_(num_bins, 0)
+{
+    if (num_bins == 0 || hi <= lo)
+        fatal("Histogram: need num_bins >= 1 and hi > lo");
+}
+
+void
+Histogram::sample(double v)
+{
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(bins_.size()));
+    if (idx >= bins_.size()) // guard the v ~ hi_ rounding edge
+        idx = bins_.size() - 1;
+    ++bins_[idx];
+}
+
+std::uint64_t
+Histogram::totalSamples() const
+{
+    std::uint64_t total = underflow_ + overflow_;
+    for (std::uint64_t b : bins_)
+        total += b;
+    return total;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+}
+
+/** Registry node: one kind-tagged payload plus metadata. */
+struct Registry::Node
+{
+    NodeKind kind;
+    std::string desc;
+    Counter counter;
+    Accumulator accumulator;
+    std::unique_ptr<Histogram> histogram;
+    /** Rate operands (node names, resolved at dump time). */
+    std::string rateNum, rateDen;
+
+    explicit Node(NodeKind k) : kind(k) {}
+};
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+namespace {
+
+const char *
+kindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Counter:
+        return "counter";
+      case NodeKind::Accumulator:
+        return "accumulator";
+      case NodeKind::Histogram:
+        return "histogram";
+      case NodeKind::Rate:
+        return "rate";
+    }
+    return "?";
+}
+
+} // namespace
+
+Registry::Node &
+Registry::findOrCreate(const std::string &name, NodeKind kind,
+                       const std::string &desc)
+{
+    if (name.empty())
+        fatal("stats: node name must not be empty");
+    auto it = nodes.find(name);
+    if (it == nodes.end())
+        it = nodes.emplace(name, std::make_unique<Node>(kind)).first;
+    Node &node = *it->second;
+    if (node.kind != kind)
+        fatal("stats: node '", name, "' registered as ",
+              kindName(node.kind), ", requested as ", kindName(kind));
+    if (node.desc.empty() && !desc.empty())
+        node.desc = desc;
+    return node;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &desc)
+{
+    return findOrCreate(name, NodeKind::Counter, desc).counter;
+}
+
+Accumulator &
+Registry::accumulator(const std::string &name, const std::string &desc)
+{
+    return findOrCreate(name, NodeKind::Accumulator, desc).accumulator;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, double lo, double hi,
+                    std::size_t num_bins, const std::string &desc)
+{
+    Node &node = findOrCreate(name, NodeKind::Histogram, desc);
+    if (!node.histogram)
+        node.histogram = std::make_unique<Histogram>(lo, hi, num_bins);
+    return *node.histogram;
+}
+
+void
+Registry::rate(const std::string &name, const std::string &numerator,
+               const std::string &denominator, const std::string &desc)
+{
+    Node &node = findOrCreate(name, NodeKind::Rate, desc);
+    node.rateNum = numerator;
+    node.rateDen = denominator;
+}
+
+namespace {
+
+/** A node's scalar magnitude for rate evaluation. */
+double
+scalarOf(const Registry::Node *node);
+
+} // namespace
+
+double
+Registry::rateValue(const std::string &name) const
+{
+    auto it = nodes.find(name);
+    if (it == nodes.end() || it->second->kind != NodeKind::Rate)
+        return 0.0;
+    const Node *num_node = nullptr, *den_node = nullptr;
+    auto num_it = nodes.find(it->second->rateNum);
+    if (num_it != nodes.end())
+        num_node = num_it->second.get();
+    auto den_it = nodes.find(it->second->rateDen);
+    if (den_it != nodes.end())
+        den_node = den_it->second.get();
+    const double den = scalarOf(den_node);
+    return den != 0.0 ? scalarOf(num_node) / den : 0.0;
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    return nodes.find(name) != nodes.end();
+}
+
+void
+Registry::reset()
+{
+    for (auto &[name, node] : nodes) {
+        node->counter.reset();
+        node->accumulator.reset();
+        if (node->histogram)
+            node->histogram->reset();
+    }
+}
+
+namespace {
+
+double
+scalarOf(const Registry::Node *node)
+{
+    if (!node)
+        return 0.0;
+    switch (node->kind) {
+      case NodeKind::Counter:
+        return static_cast<double>(node->counter.value());
+      case NodeKind::Accumulator:
+        return node->accumulator.sum();
+      case NodeKind::Histogram:
+        return node->histogram
+                   ? static_cast<double>(node->histogram->totalSamples())
+                   : 0.0;
+      case NodeKind::Rate:
+        return 0.0; // rates of rates are not supported
+    }
+    return 0.0;
+}
+
+bool
+nodeIsEmpty(const Registry::Node &node)
+{
+    switch (node.kind) {
+      case NodeKind::Counter:
+        return node.counter.value() == 0;
+      case NodeKind::Accumulator:
+        return node.accumulator.count() == 0;
+      case NodeKind::Histogram:
+        return !node.histogram || node.histogram->totalSamples() == 0;
+      case NodeKind::Rate:
+        return false; // always evaluable
+    }
+    return true;
+}
+
+/** Format a double compactly for JSON (round-trips via %.17g). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    return oss.str();
+}
+
+} // namespace
+
+void
+Registry::dumpText(std::ostream &os) const
+{
+    Table table({"stat", "value", "description"});
+    for (const auto &[name, node] : nodes) {
+        if (nodeIsEmpty(*node))
+            continue;
+        std::ostringstream value;
+        switch (node->kind) {
+          case NodeKind::Counter:
+            value << node->counter.value();
+            break;
+          case NodeKind::Accumulator: {
+            const Accumulator &a = node->accumulator;
+            value << "n=" << a.count()
+                  << " sum=" << formatNumber(a.sum())
+                  << " mean=" << formatNumber(a.mean())
+                  << " min=" << formatNumber(a.min())
+                  << " max=" << formatNumber(a.max());
+            break;
+          }
+          case NodeKind::Histogram: {
+            const Histogram &h = *node->histogram;
+            value << "n=" << h.totalSamples() << " [";
+            for (std::size_t i = 0; i < h.bins().size(); ++i)
+                value << (i ? " " : "") << h.bins()[i];
+            value << "] under=" << h.underflow()
+                  << " over=" << h.overflow();
+            break;
+          }
+          case NodeKind::Rate:
+            value << formatNumber(rateValue(name));
+            break;
+        }
+        table.row().add(name).add(value.str()).add(node->desc);
+    }
+    table.render(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &[name, node] : nodes) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << name << "\": ";
+        switch (node->kind) {
+          case NodeKind::Counter:
+            os << node->counter.value();
+            break;
+          case NodeKind::Accumulator: {
+            const Accumulator &a = node->accumulator;
+            os << "{\"count\": " << a.count()
+               << ", \"sum\": " << jsonNumber(a.sum())
+               << ", \"min\": " << jsonNumber(a.min())
+               << ", \"max\": " << jsonNumber(a.max())
+               << ", \"mean\": " << jsonNumber(a.mean()) << "}";
+            break;
+          }
+          case NodeKind::Histogram: {
+            const Histogram &h = *node->histogram;
+            os << "{\"lo\": " << jsonNumber(h.lo())
+               << ", \"hi\": " << jsonNumber(h.hi())
+               << ", \"underflow\": " << h.underflow()
+               << ", \"overflow\": " << h.overflow() << ", \"bins\": [";
+            for (std::size_t i = 0; i < h.bins().size(); ++i)
+                os << (i ? ", " : "") << h.bins()[i];
+            os << "]}";
+            break;
+          }
+          case NodeKind::Rate:
+            os << jsonNumber(rateValue(name));
+            break;
+        }
+    }
+    os << "\n}\n";
+}
+
+Counter &
+counter(const std::string &name, const std::string &desc)
+{
+    return Registry::instance().counter(name, desc);
+}
+
+Accumulator &
+accumulator(const std::string &name, const std::string &desc)
+{
+    return Registry::instance().accumulator(name, desc);
+}
+
+Histogram &
+histogram(const std::string &name, double lo, double hi,
+          std::size_t num_bins, const std::string &desc)
+{
+    return Registry::instance().histogram(name, lo, hi, num_bins, desc);
+}
+
+std::int64_t
+monotonicNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+ScopedTimer::ScopedTimer(Accumulator &acc)
+    : acc(acc), startNs(0), active(Registry::instance().enabled())
+{
+    if (active)
+        startNs = monotonicNowNs();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (active)
+        acc.sample(static_cast<double>(monotonicNowNs() - startNs) *
+                   1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot parsing: a recursive-descent reader for the JSON subset
+// dumpJson() emits (flat object; values are numbers, or one-level
+// objects of numbers and arrays of numbers).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonReader
+{
+    std::istream &is;
+
+    void
+    skipWs()
+    {
+        while (std::isspace(is.peek()))
+            is.get();
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return static_cast<char>(is.peek());
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        const int got = is.get();
+        if (got != c)
+            fatal("stats json: expected '", c, "', got ",
+                  got < 0 ? std::string("EOF")
+                          : std::string(1, static_cast<char>(got)));
+    }
+
+    std::string
+    readString()
+    {
+        expect('"');
+        std::string s;
+        int c;
+        while ((c = is.get()) != '"') {
+            if (c < 0)
+                fatal("stats json: unterminated string");
+            if (c == '\\')
+                c = is.get();
+            s.push_back(static_cast<char>(c));
+        }
+        return s;
+    }
+
+    double
+    readNumber()
+    {
+        skipWs();
+        double v = 0.0;
+        if (!(is >> v))
+            fatal("stats json: expected a number");
+        return v;
+    }
+
+    std::vector<double>
+    readNumberArray()
+    {
+        expect('[');
+        std::vector<double> values;
+        if (peek() == ']') {
+            is.get();
+            return values;
+        }
+        while (true) {
+            values.push_back(readNumber());
+            skipWs();
+            const int c = is.get();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fatal("stats json: expected ',' or ']' in array");
+        }
+        return values;
+    }
+};
+
+} // namespace
+
+double
+Snapshot::scalar(const std::string &name, double fallback) const
+{
+    auto it = scalars.find(name);
+    return it != scalars.end() ? it->second : fallback;
+}
+
+Snapshot
+parseSnapshot(std::istream &is)
+{
+    Snapshot snapshot;
+    JsonReader reader{is};
+    reader.expect('{');
+    if (reader.peek() == '}') {
+        is.get();
+        return snapshot;
+    }
+    while (true) {
+        const std::string name = reader.readString();
+        reader.expect(':');
+        if (reader.peek() == '{') {
+            // Accumulator or histogram: keyed fields distinguish them.
+            is.get();
+            std::map<std::string, double> fields;
+            std::vector<double> bins;
+            bool have_bins = false;
+            while (true) {
+                const std::string key = reader.readString();
+                reader.expect(':');
+                if (reader.peek() == '[') {
+                    bins = reader.readNumberArray();
+                    have_bins = true;
+                } else {
+                    fields[key] = reader.readNumber();
+                }
+                reader.skipWs();
+                const int c = is.get();
+                if (c == '}')
+                    break;
+                if (c != ',')
+                    fatal("stats json: expected ',' or '}' in object");
+            }
+            if (have_bins) {
+                SnapshotHistogram h;
+                h.lo = fields["lo"];
+                h.hi = fields["hi"];
+                h.underflow =
+                    static_cast<std::uint64_t>(fields["underflow"]);
+                h.overflow =
+                    static_cast<std::uint64_t>(fields["overflow"]);
+                for (double b : bins)
+                    h.bins.push_back(static_cast<std::uint64_t>(b));
+                snapshot.histograms[name] = h;
+            } else {
+                SnapshotAccumulator a;
+                a.count = static_cast<std::uint64_t>(fields["count"]);
+                a.sum = fields["sum"];
+                a.min = fields["min"];
+                a.max = fields["max"];
+                a.mean = fields["mean"];
+                snapshot.accumulators[name] = a;
+            }
+        } else {
+            snapshot.scalars[name] = reader.readNumber();
+        }
+        reader.skipWs();
+        const int c = is.get();
+        if (c == '}')
+            break;
+        if (c != ',')
+            fatal("stats json: expected ',' or '}' after value");
+    }
+    return snapshot;
+}
+
+} // namespace otft::stats

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Process-wide hierarchical statistics registry, in the spirit of
+ * gem5's stats package: named scalar counters, accumulators with
+ * count/sum/min/max, fixed-bin histograms, and derived rates
+ * (numerator / denominator evaluated at dump time).
+ *
+ * Names are dotted paths following the `layer.noun.verb` convention
+ * ("circuit.newton.iterations", "sta.arcs.evaluated"). Registration
+ * is idempotent — looking up an existing name returns the same node —
+ * so call sites cache a reference in a function-local static and pay
+ * one map lookup per process:
+ *
+ *     static auto &iters =
+ *         stats::counter("circuit.newton.iterations");
+ *     iters += n;
+ *
+ * Values survive across runs within a process; reset() zeroes every
+ * node (registrations persist) so tests and repeated sweeps start
+ * clean. Updates are not synchronized: the framework is
+ * single-threaded and future parallel layers must shard or lock.
+ */
+
+#ifndef OTFT_UTIL_STATS_REGISTRY_HPP
+#define OTFT_UTIL_STATS_REGISTRY_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace otft::stats {
+
+/** Monotonically increasing scalar count. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    Counter &operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running count/sum/min/max over sampled values (e.g. seconds). */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = v;
+            max_ = v;
+        } else {
+            if (v < min_)
+                min_ = v;
+            if (v > max_)
+                max_ = v;
+        }
+        ++count_;
+        sum_ += v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Linear fixed-bin histogram over [lo, hi) with under/overflow. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t num_bins);
+
+    void sample(double v);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** Node kinds stored in the registry. */
+enum class NodeKind { Counter, Accumulator, Histogram, Rate };
+
+/**
+ * The registry: an ordered map from dotted name to node. Nodes are
+ * heap-allocated once and never move, so returned references stay
+ * valid for the life of the process.
+ */
+class Registry
+{
+  public:
+    /** Registry node (opaque outside the implementation). */
+    struct Node;
+
+    /** The process-wide registry. */
+    static Registry &instance();
+
+    /** Find-or-create nodes; fatal on a kind mismatch. */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+    Accumulator &accumulator(const std::string &name,
+                             const std::string &desc = "");
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t num_bins,
+                         const std::string &desc = "");
+
+    /**
+     * Register a derived rate `numerator / denominator`, evaluated at
+     * dump time from two counter or accumulator-sum nodes (missing or
+     * zero denominator evaluates to 0).
+     */
+    void rate(const std::string &name, const std::string &numerator,
+              const std::string &denominator,
+              const std::string &desc = "");
+
+    /** Current value of a derived rate (0 if unregistered). */
+    double rateValue(const std::string &name) const;
+
+    /** @return true if `name` is registered (any kind). */
+    bool has(const std::string &name) const;
+
+    /** Zero every node's value; registrations persist. */
+    void reset();
+
+    /**
+     * Master enable. When false, ScopedTimer and trace spans skip
+     * their clock reads entirely; plain counter increments at call
+     * sites are not gated (they cost a single add).
+     */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Render a sorted text table of every non-empty node. */
+    void dumpText(std::ostream &os) const;
+
+    /** Dump every node as one flat JSON object keyed by name. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Number of registered nodes. */
+    std::size_t size() const { return nodes.size(); }
+
+  private:
+    Registry() = default;
+
+    Node &findOrCreate(const std::string &name, NodeKind kind,
+                       const std::string &desc);
+
+    std::map<std::string, std::unique_ptr<Node>> nodes;
+    bool enabled_ = true;
+};
+
+/** Shorthand for Registry::instance() accessors. */
+Counter &counter(const std::string &name, const std::string &desc = "");
+Accumulator &accumulator(const std::string &name,
+                         const std::string &desc = "");
+Histogram &histogram(const std::string &name, double lo, double hi,
+                     std::size_t num_bins, const std::string &desc = "");
+
+/** @return true when the process-wide registry is enabled. */
+inline bool
+enabled()
+{
+    return Registry::instance().enabled();
+}
+
+/**
+ * RAII wall-time span: samples elapsed seconds into an accumulator at
+ * scope exit. Skips both clock reads when the registry is disabled.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Accumulator &acc);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Accumulator &acc;
+    std::int64_t startNs;
+    bool active;
+};
+
+/** Monotonic clock read in nanoseconds (exposed for trace spans). */
+std::int64_t monotonicNowNs();
+
+// ---------------------------------------------------------------------
+// Snapshot: a parsed stats dump, used for JSON round-trip tests and by
+// tools that harvest `--stats-json` output.
+// ---------------------------------------------------------------------
+
+/** One parsed accumulator. */
+struct SnapshotAccumulator
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+};
+
+/** One parsed histogram. */
+struct SnapshotHistogram
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::vector<std::uint64_t> bins;
+};
+
+/** A parsed dumpJson() document. */
+struct Snapshot
+{
+    /** Counters and derived rates. */
+    std::map<std::string, double> scalars;
+    std::map<std::string, SnapshotAccumulator> accumulators;
+    std::map<std::string, SnapshotHistogram> histograms;
+
+    /** Scalar value by name, or `fallback` when absent. */
+    double scalar(const std::string &name, double fallback = 0.0) const;
+};
+
+/**
+ * Parse a dumpJson() document (the registry's own flat JSON subset:
+ * one object whose values are numbers, or objects of numbers and
+ * number arrays). Fatal on malformed input.
+ */
+Snapshot parseSnapshot(std::istream &is);
+
+} // namespace otft::stats
+
+#endif // OTFT_UTIL_STATS_REGISTRY_HPP

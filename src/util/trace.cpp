@@ -1,0 +1,102 @@
+#include "util/trace.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace otft::trace {
+
+namespace {
+
+struct Event
+{
+    const char *name;
+    std::int64_t startNs;
+    std::int64_t endNs;
+};
+
+struct Collector
+{
+    bool active = false;
+    std::string path;
+    /** Collection epoch: event timestamps are relative to this. */
+    std::int64_t epochNs = 0;
+    std::vector<Event> events;
+};
+
+Collector &
+collector()
+{
+    static Collector c;
+    return c;
+}
+
+} // namespace
+
+void
+start(const std::string &path)
+{
+    Collector &c = collector();
+    c.active = true;
+    c.path = path;
+    c.epochNs = stats::monotonicNowNs();
+    c.events.clear();
+    c.events.reserve(4096);
+}
+
+void
+stop()
+{
+    Collector &c = collector();
+    if (!c.active)
+        return;
+    c.active = false;
+
+    std::ofstream os(c.path);
+    if (!os)
+        fatal("trace: cannot write ", c.path);
+    os << "[";
+    // Chrome trace_event JSON array of complete events; timestamps
+    // and durations are microseconds.
+    bool first = true;
+    for (const Event &e : c.events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\": \"" << e.name
+           << "\", \"cat\": \"otft\", \"ph\": \"X\", \"pid\": 1"
+           << ", \"tid\": 1, \"ts\": "
+           << static_cast<double>(e.startNs - c.epochNs) * 1e-3
+           << ", \"dur\": "
+           << static_cast<double>(e.endNs - e.startNs) * 1e-3 << "}";
+    }
+    os << "\n]\n";
+    if (!c.events.empty())
+        inform("trace: wrote ", c.events.size(), " events to ", c.path);
+    c.events.clear();
+}
+
+bool
+collecting()
+{
+    return collector().active;
+}
+
+std::size_t
+eventCount()
+{
+    return collector().events.size();
+}
+
+void
+recordEvent(const char *name, std::int64_t start_ns,
+            std::int64_t end_ns)
+{
+    Collector &c = collector();
+    if (!c.active)
+        return;
+    c.events.push_back({name, start_ns, end_ns});
+}
+
+} // namespace otft::trace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Scoped tracing: RAII wall-time spans that aggregate into the stats
+ * registry and can optionally stream a Chrome trace_event JSON
+ * timeline (openable in about:tracing or https://ui.perfetto.dev).
+ *
+ * Usage at a call site — the macro registers an accumulator named
+ * `time.<name>` once and times every pass through the scope:
+ *
+ *     void StaEngine::analyze(...) {
+ *         OTFT_TRACE_SCOPE("sta.analyze");
+ *         ...
+ *     }
+ *
+ * Span names follow the same `layer.noun.verb` convention as stats.
+ * Aggregation is inclusive: a parent span's time contains its nested
+ * children, exactly as in the Chrome timeline view. When the stats
+ * registry is disabled and no timeline collection is active, spans
+ * skip their clock reads entirely and have no side effects.
+ */
+
+#ifndef OTFT_UTIL_TRACE_HPP
+#define OTFT_UTIL_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats_registry.hpp"
+
+namespace otft::trace {
+
+/**
+ * Begin collecting a Chrome trace_event timeline. Events buffer in
+ * memory until stop() writes them to `path` as a JSON array (the
+ * format both about:tracing and Perfetto accept). Collecting twice
+ * without an intervening stop() discards the first buffer.
+ */
+void start(const std::string &path);
+
+/** Write buffered events to the start() path and stop collecting. */
+void stop();
+
+/** @return true while a timeline collection is active. */
+bool collecting();
+
+/** Number of buffered timeline events (for tests). */
+std::size_t eventCount();
+
+/** Internal: record one complete ("ph":"X") event. */
+void recordEvent(const char *name, std::int64_t start_ns,
+                 std::int64_t end_ns);
+
+/**
+ * RAII span: on destruction samples elapsed seconds into the given
+ * registry accumulator and, when a timeline collection is active,
+ * records a trace_event. Inert when both are off.
+ */
+class Span
+{
+  public:
+    Span(const char *name, stats::Accumulator &acc)
+        : name(name), acc(acc),
+          active(stats::enabled() || collecting()), startNs(0)
+    {
+        if (active)
+            startNs = stats::monotonicNowNs();
+    }
+
+    ~Span()
+    {
+        if (!active)
+            return;
+        const std::int64_t end_ns = stats::monotonicNowNs();
+        if (stats::enabled())
+            acc.sample(static_cast<double>(end_ns - startNs) * 1e-9);
+        if (collecting())
+            recordEvent(name, startNs, end_ns);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name;
+    stats::Accumulator &acc;
+    bool active;
+    std::int64_t startNs;
+};
+
+} // namespace otft::trace
+
+#define OTFT_TRACE_CONCAT2(a, b) a##b
+#define OTFT_TRACE_CONCAT(a, b) OTFT_TRACE_CONCAT2(a, b)
+
+/**
+ * Time the enclosing scope under `name` (a string literal). Aggregates
+ * into the stats accumulator `time.<name>` and into the active
+ * timeline collection, if any.
+ */
+#define OTFT_TRACE_SCOPE(name)                                          \
+    static ::otft::stats::Accumulator &OTFT_TRACE_CONCAT(               \
+        otft_trace_acc_, __LINE__) =                                    \
+        ::otft::stats::accumulator("time." name,                        \
+                                   "seconds in " name " spans");        \
+    ::otft::trace::Span OTFT_TRACE_CONCAT(otft_trace_span_, __LINE__)(  \
+        name, OTFT_TRACE_CONCAT(otft_trace_acc_, __LINE__))
+
+#endif // OTFT_UTIL_TRACE_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::workload {
 
@@ -231,6 +232,11 @@ TraceGenerator::nextAddress(bool &chased)
 TraceInst
 TraceGenerator::next()
 {
+    static stats::Counter &stat_insts = stats::counter(
+        "workload.instructions.generated",
+        "synthetic trace instructions generated");
+    ++stat_insts;
+
     TraceInst inst;
     inst.pc = pc;
     pc += 4;

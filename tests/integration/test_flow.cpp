@@ -21,6 +21,7 @@
 #include "netlist/generators.hpp"
 #include "sta/pipeline.hpp"
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft {
 namespace {
@@ -183,6 +184,41 @@ TEST_F(FullFlow, SiliconBaselineNearPaperFrequency)
     // Paper: ~800 MHz; accept the same order of magnitude.
     EXPECT_GT(timing.frequency, 1e8);
     EXPECT_LT(timing.frequency, 3e9);
+}
+
+TEST_F(FullFlow, TelemetryCoversEveryLayer)
+{
+    // A mini end-to-end run must leave nonzero counters from the
+    // circuit solver up through the architecture explorer.
+    stats::Registry &reg = stats::Registry::instance();
+    reg.reset();
+
+    // STA + explorer + arch: evaluate one design point on the silicon
+    // library (fast) with a small instruction budget.
+    core::ExplorerConfig config;
+    config.instructions = 2000;
+    core::ArchExplorer explorer(*silicon, config);
+    (void)explorer.evaluate(arch::baselineConfig());
+
+    // Circuit + liberty: the explorer path runs no SPICE, so
+    // characterize the organic library once more on a minimal
+    // (2x2, the NLDM floor) grid.
+    liberty::CharacterizerConfig mini;
+    mini.slewAxis = {4e-6, 64e-6};
+    mini.loadMultipliers = {0.5, 6.0};
+    (void)liberty::makeOrganicLibrary(mini);
+
+    EXPECT_GT(stats::counter("circuit.newton.iterations").value(), 0u);
+    EXPECT_GT(stats::counter("circuit.newton.solves").value(), 0u);
+    EXPECT_GT(stats::counter("liberty.arcs.characterized").value(), 0u);
+    EXPECT_GT(stats::counter("sta.arcs.evaluated").value(), 0u);
+    EXPECT_GT(stats::counter("sta.levelization.passes").value(), 0u);
+    EXPECT_GT(stats::counter("explorer.points.evaluated").value(), 0u);
+    EXPECT_GT(stats::counter("arch.instructions.simulated").value(),
+              0u);
+    EXPECT_GT(stats::counter("workload.instructions.generated").value(),
+              0u);
+    EXPECT_GT(reg.rateValue("circuit.newton.mean_iterations"), 0.0);
 }
 
 TEST_F(FullFlow, WireRemovalMovesSiliconNotOrganic)

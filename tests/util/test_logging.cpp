@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft {
 namespace {
@@ -33,6 +36,49 @@ TEST(Logging, InformAndWarnDoNotThrow)
     EXPECT_NO_THROW(inform("status ", 1));
     EXPECT_NO_THROW(warn("warning ", 2.5));
     setQuiet(false);
+}
+
+TEST(Logging, LogLevelParsesNamesAndNumbers)
+{
+    EXPECT_EQ(logLevelFromString("silent"), LogLevel::Silent);
+    EXPECT_EQ(logLevelFromString("warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromString("info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromString("0"), LogLevel::Silent);
+    EXPECT_EQ(logLevelFromString("1"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromString("2"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromString("nonsense", LogLevel::Warn),
+              LogLevel::Warn);
+}
+
+TEST(Logging, QuietOverridesConfiguredLevel)
+{
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(effectiveLogLevel(), LogLevel::Info);
+    setQuiet(true);
+    EXPECT_EQ(effectiveLogLevel(), LogLevel::Silent);
+    setQuiet(false);
+    EXPECT_EQ(effectiveLogLevel(), LogLevel::Info);
+}
+
+TEST(Logging, EnvOverrideSetsInitialLevel)
+{
+    ::setenv("OTFT_LOG_LEVEL", "warn", 1);
+    detail::reloadLogLevelFromEnv();
+    EXPECT_EQ(effectiveLogLevel(), LogLevel::Warn);
+
+    ::unsetenv("OTFT_LOG_LEVEL");
+    detail::reloadLogLevelFromEnv();
+    EXPECT_EQ(effectiveLogLevel(), LogLevel::Info);
+}
+
+TEST(Logging, SuppressedWarningsStillCount)
+{
+    stats::Counter &warnings = stats::counter("log.warnings");
+    const std::uint64_t before = warnings.value();
+    setQuiet(true);
+    warn("suppressed but counted");
+    setQuiet(false);
+    EXPECT_EQ(warnings.value(), before + 1);
 }
 
 } // namespace

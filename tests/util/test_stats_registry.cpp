@@ -1,0 +1,192 @@
+/** @file Unit tests for util/stats_registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+
+namespace otft::stats {
+namespace {
+
+TEST(StatsRegistry, CounterRegistrationIsIdempotent)
+{
+    Counter &a = counter("test.reg.counter", "a test counter");
+    Counter &b = counter("test.reg.counter");
+    EXPECT_EQ(&a, &b);
+    EXPECT_TRUE(Registry::instance().has("test.reg.counter"));
+    EXPECT_FALSE(Registry::instance().has("test.reg.missing"));
+}
+
+TEST(StatsRegistry, CounterAccumulates)
+{
+    Counter &c = counter("test.acc.counter");
+    c.reset();
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(StatsRegistry, AccumulatorTracksMinMeanMax)
+{
+    Accumulator &a = accumulator("test.acc.accumulator");
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(3.0);
+    a.sample(-1.0);
+    a.sample(4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(a.min(), -1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StatsRegistry, HistogramBinsSamples)
+{
+    Histogram &h =
+        histogram("test.acc.histogram", 0.0, 10.0, 5, "5 bins of 2");
+    h.reset();
+    h.sample(-0.5);  // underflow
+    h.sample(0.0);   // bin 0
+    h.sample(1.999); // bin 0
+    h.sample(2.0);   // bin 1
+    h.sample(9.999); // bin 4
+    h.sample(10.0);  // overflow (hi is exclusive)
+    h.sample(100.0); // overflow
+    ASSERT_EQ(h.bins().size(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[2], 0u);
+    EXPECT_EQ(h.bins()[3], 0u);
+    EXPECT_EQ(h.bins()[4], 1u);
+    EXPECT_EQ(h.totalSamples(), 7u);
+}
+
+TEST(StatsRegistry, KindMismatchIsFatal)
+{
+    counter("test.kind.scalar");
+    EXPECT_THROW(accumulator("test.kind.scalar"), FatalError);
+}
+
+TEST(StatsRegistry, RateDividesAtDumpTime)
+{
+    Registry &reg = Registry::instance();
+    Counter &num = counter("test.rate.num");
+    Counter &den = counter("test.rate.den");
+    num.reset();
+    den.reset();
+    reg.rate("test.rate.value", "test.rate.num", "test.rate.den");
+    EXPECT_DOUBLE_EQ(reg.rateValue("test.rate.value"), 0.0);
+    num += 6;
+    den += 4;
+    EXPECT_DOUBLE_EQ(reg.rateValue("test.rate.value"), 1.5);
+    EXPECT_DOUBLE_EQ(reg.rateValue("test.rate.unregistered"), 0.0);
+}
+
+TEST(StatsRegistry, ResetZeroesValuesButKeepsRegistrations)
+{
+    Registry &reg = Registry::instance();
+    Counter &c = counter("test.reset.counter");
+    Accumulator &a = accumulator("test.reset.accumulator");
+    c += 7;
+    a.sample(1.25);
+    reg.reset();
+    EXPECT_TRUE(reg.has("test.reset.counter"));
+    EXPECT_TRUE(reg.has("test.reset.accumulator"));
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(&c, &counter("test.reset.counter"));
+}
+
+TEST(StatsRegistry, EnableFlagRoundTrips)
+{
+    Registry &reg = Registry::instance();
+    EXPECT_TRUE(reg.enabled());
+    reg.setEnabled(false);
+    EXPECT_FALSE(enabled());
+    reg.setEnabled(true);
+    EXPECT_TRUE(enabled());
+}
+
+TEST(StatsRegistry, ScopedTimerSamplesOncePerScope)
+{
+    Accumulator &a = accumulator("test.timer.acc");
+    a.reset();
+    {
+        ScopedTimer t(a);
+    }
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_GE(a.sum(), 0.0);
+
+    // Disabled: no clock reads, no samples.
+    Registry::instance().setEnabled(false);
+    {
+        ScopedTimer t(a);
+    }
+    Registry::instance().setEnabled(true);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(StatsRegistry, JsonDumpRoundTrips)
+{
+    Registry &reg = Registry::instance();
+    Counter &c = counter("test.json.counter");
+    Accumulator &a = accumulator("test.json.accumulator");
+    Histogram &h = histogram("test.json.histogram", 0.0, 4.0, 4);
+    c.reset();
+    a.reset();
+    h.reset();
+    c += 11;
+    a.sample(0.5);
+    a.sample(2.5);
+    h.sample(-1.0);
+    h.sample(1.5);
+    h.sample(99.0);
+    reg.rate("test.json.rate", "test.json.counter",
+             "test.json.accumulator");
+
+    std::stringstream ss;
+    reg.dumpJson(ss);
+    const Snapshot snap = parseSnapshot(ss);
+
+    EXPECT_DOUBLE_EQ(snap.scalar("test.json.counter"), 11.0);
+    EXPECT_DOUBLE_EQ(snap.scalar("test.json.rate"), 11.0 / 3.0);
+    EXPECT_DOUBLE_EQ(snap.scalar("test.json.missing", -1.0), -1.0);
+
+    const auto acc_it = snap.accumulators.find("test.json.accumulator");
+    ASSERT_NE(acc_it, snap.accumulators.end());
+    EXPECT_EQ(acc_it->second.count, 2u);
+    EXPECT_DOUBLE_EQ(acc_it->second.sum, 3.0);
+    EXPECT_DOUBLE_EQ(acc_it->second.min, 0.5);
+    EXPECT_DOUBLE_EQ(acc_it->second.max, 2.5);
+    EXPECT_DOUBLE_EQ(acc_it->second.mean, 1.5);
+
+    const auto hist_it = snap.histograms.find("test.json.histogram");
+    ASSERT_NE(hist_it, snap.histograms.end());
+    EXPECT_DOUBLE_EQ(hist_it->second.lo, 0.0);
+    EXPECT_DOUBLE_EQ(hist_it->second.hi, 4.0);
+    EXPECT_EQ(hist_it->second.underflow, 1u);
+    EXPECT_EQ(hist_it->second.overflow, 1u);
+    ASSERT_EQ(hist_it->second.bins.size(), 4u);
+    EXPECT_EQ(hist_it->second.bins[1], 1u);
+}
+
+TEST(StatsRegistry, TextDumpMentionsNonEmptyNodes)
+{
+    Counter &c = counter("test.text.counter", "text dump check");
+    c.reset();
+    c += 3;
+    std::stringstream ss;
+    Registry::instance().dumpText(ss);
+    EXPECT_NE(ss.str().find("test.text.counter"), std::string::npos);
+    EXPECT_NE(ss.str().find("text dump check"), std::string::npos);
+}
+
+} // namespace
+} // namespace otft::stats

@@ -1,0 +1,116 @@
+/** @file Unit tests for util/trace. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
+
+namespace otft {
+namespace {
+
+void
+inner()
+{
+    OTFT_TRACE_SCOPE("test.span.inner");
+}
+
+void
+outer()
+{
+    OTFT_TRACE_SCOPE("test.span.outer");
+    inner();
+    inner();
+}
+
+TEST(Trace, NestedSpansAggregateIntoRegistry)
+{
+    stats::Accumulator &outer_acc =
+        stats::accumulator("time.test.span.outer");
+    stats::Accumulator &inner_acc =
+        stats::accumulator("time.test.span.inner");
+    outer_acc.reset();
+    inner_acc.reset();
+
+    outer();
+
+    EXPECT_EQ(outer_acc.count(), 1u);
+    EXPECT_EQ(inner_acc.count(), 2u);
+    // Inclusive timing: the parent contains its children.
+    EXPECT_GE(outer_acc.sum(), inner_acc.sum());
+}
+
+TEST(Trace, DisabledTracingHasNoSideEffects)
+{
+    stats::Accumulator &outer_acc =
+        stats::accumulator("time.test.span.outer");
+    stats::Accumulator &inner_acc =
+        stats::accumulator("time.test.span.inner");
+    outer_acc.reset();
+    inner_acc.reset();
+
+    stats::Registry::instance().setEnabled(false);
+    outer();
+    stats::Registry::instance().setEnabled(true);
+
+    EXPECT_EQ(outer_acc.count(), 0u);
+    EXPECT_EQ(inner_acc.count(), 0u);
+    EXPECT_FALSE(trace::collecting());
+    EXPECT_EQ(trace::eventCount(), 0u);
+}
+
+TEST(Trace, TimelineCollectionWritesChromeTraceJson)
+{
+    const std::string path = "test_trace_out.json";
+
+    trace::start(path);
+    EXPECT_TRUE(trace::collecting());
+    outer();
+    EXPECT_EQ(trace::eventCount(), 3u);
+    trace::stop();
+    EXPECT_FALSE(trace::collecting());
+    EXPECT_EQ(trace::eventCount(), 0u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    while (!text.empty() && std::isspace(text.back()))
+        text.pop_back();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text.back(), ']');
+    EXPECT_NE(text.find("\"test.span.outer\""), std::string::npos);
+    EXPECT_NE(text.find("\"test.span.inner\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"dur\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CollectionWorksEvenWhenStatsDisabled)
+{
+    stats::Accumulator &outer_acc =
+        stats::accumulator("time.test.span.outer");
+    outer_acc.reset();
+    const std::string path = "test_trace_out2.json";
+
+    stats::Registry::instance().setEnabled(false);
+    trace::start(path);
+    outer();
+    EXPECT_EQ(trace::eventCount(), 3u);
+    trace::stop();
+    stats::Registry::instance().setEnabled(true);
+
+    // Timeline captured the spans, but the registry stayed untouched.
+    EXPECT_EQ(outer_acc.count(), 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace otft
