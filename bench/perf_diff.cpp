@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Compare two BENCH_*.json reports under the MAD-based noise gate and
+ * exit nonzero when a regression clears it — the enforcement half of
+ * the perf flight recorder (scripts/perf_gate.sh and the perf_smoke
+ * ctest label wrap this binary).
+ *
+ * Usage:
+ *   perf_diff BASELINE.json CURRENT.json
+ *             [--threshold F] [--mad-k F] [--abs-floor SECONDS]
+ *             [--counter-threshold F]
+ *
+ * Exit codes: 0 no regressions, 1 regressions past the gate,
+ * 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/logging.hpp"
+#include "util/perf_report.hpp"
+
+using namespace otft;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: perf_diff BASELINE.json CURRENT.json\n"
+        "                 [--threshold F] [--mad-k F]\n"
+        "                 [--abs-floor SECONDS] [--counter-threshold F]\n");
+}
+
+double
+parseNumber(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("perf_diff: ", what, " expects a number, got '", text,
+              "'");
+    return v;
+}
+
+perf::BenchReport
+load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("perf_diff: cannot read ", path);
+    return perf::readReport(is);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string current_path;
+    perf::DiffOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--threshold") == 0 && has_value) {
+            options.wallThreshold =
+                parseNumber(argv[++i], "--threshold");
+        } else if (std::strcmp(arg, "--mad-k") == 0 && has_value) {
+            options.madK = parseNumber(argv[++i], "--mad-k");
+        } else if (std::strcmp(arg, "--abs-floor") == 0 && has_value) {
+            options.minWallDeltaS =
+                parseNumber(argv[++i], "--abs-floor");
+        } else if (std::strcmp(arg, "--counter-threshold") == 0 &&
+                   has_value) {
+            options.counterThreshold =
+                parseNumber(argv[++i], "--counter-threshold");
+        } else if (arg[0] == '-') {
+            usage();
+            return 2;
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const auto baseline = load(baseline_path);
+        const auto current = load(current_path);
+        if (baseline.env.gitSha != current.env.gitSha)
+            inform("comparing ", baseline.env.gitSha, " -> ",
+                   current.env.gitSha);
+        const auto diff =
+            perf::diffReports(baseline, current, options);
+        perf::renderDiff(diff, std::cout);
+        return diff.regressions > 0 ? 1 : 0;
+    } catch (const FatalError &) {
+        return 2;
+    }
+}

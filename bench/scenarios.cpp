@@ -1,0 +1,344 @@
+#include "scenarios.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "arch/config.hpp"
+#include "arch/core.hpp"
+#include "cells/topologies.hpp"
+#include "cells/vtc.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/transient.hpp"
+#include "core/explorer.hpp"
+#include "device/fitting.hpp"
+#include "device/measurement.hpp"
+#include "device/pentacene.hpp"
+#include "liberty/characterizer.hpp"
+#include "liberty/silicon.hpp"
+#include "netlist/bufferize.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/pipeline.hpp"
+#include "sta/sta.hpp"
+#include "workload/trace.hpp"
+
+namespace otft::bench {
+
+namespace {
+
+/**
+ * Shared lazy fixtures. Each scenario's setup hook materializes only
+ * what it needs, so a filtered run never pays for the rest; fixture
+ * construction happens outside the timed region by contract
+ * (ScenarioSuite calls setup before the warmup reps).
+ */
+struct Fixtures
+{
+    std::optional<cells::CellFactory> factory;
+    std::optional<liberty::CellLibrary> silicon;
+    /** 16x16 array multiplier, fanout-buffered (the Fig. 12 ALU). */
+    std::optional<netlist::Netlist> alu16;
+    std::optional<cells::BuiltCell> vtcInverter;
+    std::optional<cells::BuiltCell> loadedInverter;
+    std::optional<std::vector<device::TransferCurve>> curves;
+
+    cells::CellFactory &
+    getFactory()
+    {
+        if (!factory)
+            factory.emplace();
+        return *factory;
+    }
+
+    liberty::CellLibrary &
+    getSilicon()
+    {
+        if (!silicon)
+            silicon.emplace(liberty::makeSiliconLibrary());
+        return *silicon;
+    }
+
+    netlist::Netlist &
+    getAlu16()
+    {
+        if (!alu16) {
+            netlist::Netlist raw;
+            netlist::NetBuilder b(raw);
+            const auto x = b.inputBus("a", 16);
+            const auto y = b.inputBus("y", 16);
+            b.outputBus("p", netlist::arrayMultiplier(b, x, y));
+            alu16.emplace(netlist::bufferize(raw, 6));
+        }
+        return *alu16;
+    }
+};
+
+Fixtures &
+fixtures()
+{
+    static Fixtures f;
+    return f;
+}
+
+/** The reduced 2x2 NLDM grid (the floor) used by fast paths. */
+liberty::CharacterizerConfig
+miniGrid()
+{
+    liberty::CharacterizerConfig mini;
+    mini.slewAxis = {4e-6, 64e-6};
+    mini.loadMultipliers = {0.5, 6.0};
+    return mini;
+}
+
+void
+addDeviceFit(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "device.model_fit",
+        "device",
+        "Nelder-Mead level-1 fit of the measured pentacene transfer "
+        "curve at |VDS| = 1 V",
+        [] {
+            auto &f = fixtures();
+            if (!f.curves)
+                f.curves.emplace(device::measurePentaceneFig3());
+        },
+        []() -> std::uint64_t {
+            const auto &curve = fixtures().curves->front();
+            device::ModelFitter fitter(device::Polarity::PType,
+                                       device::pentaceneGeometry());
+            const auto fit = fitter.fitLevel1(curve);
+            (void)fit;
+            return curve.vgs.size();
+        },
+    });
+}
+
+void
+addDcOperatingPoint(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "circuit.dc_operating_point",
+        "circuit",
+        "cold Newton + homotopy operating points of the pseudo-E "
+        "inverter, NAND2, and NOR2",
+        [] { fixtures().getFactory(); },
+        []() -> std::uint64_t {
+            auto &factory = fixtures().getFactory();
+            std::uint64_t solves = 0;
+            cells::BuiltCell cellset[3] = {
+                factory.inverter(cells::InverterKind::PseudoE),
+                factory.nand(2),
+                factory.nor(2),
+            };
+            for (auto &cell : cellset) {
+                circuit::DcAnalysis dc(cell.ckt);
+                for (int k = 0; k < 4; ++k) {
+                    (void)dc.operatingPoint();
+                    ++solves;
+                }
+            }
+            return solves;
+        },
+    });
+}
+
+void
+addTransientStep(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "circuit.transient_step",
+        "circuit",
+        "backward-Euler transient of a loaded pseudo-E inverter "
+        "through one input pulse",
+        [] {
+            auto &f = fixtures();
+            if (!f.loadedInverter) {
+                auto &factory = f.getFactory();
+                f.loadedInverter.emplace(factory.inverter(
+                    cells::InverterKind::PseudoE,
+                    4.0 * factory.inputCap()));
+                auto &cell = *f.loadedInverter;
+                cell.ckt.setSourceWave(
+                    cell.inputSources[0],
+                    circuit::Pwl::pulse(0.0, cell.supply.vdd, 20e-6,
+                                        4e-6, 60e-6));
+            }
+        },
+        []() -> std::uint64_t {
+            auto &cell = *fixtures().loadedInverter;
+            circuit::TransientConfig config;
+            config.tStop = 160e-6;
+            config.dt = 0.5e-6;
+            const auto result =
+                circuit::TransientAnalysis(cell.ckt).run(config);
+            return result.time().size();
+        },
+    });
+}
+
+void
+addVtcSweep(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "cells.vtc_sweep",
+        "cells",
+        "101-point warm-started VTC sweep with threshold, gain, and "
+        "noise-margin extraction",
+        [] {
+            auto &f = fixtures();
+            if (!f.vtcInverter)
+                f.vtcInverter.emplace(f.getFactory().inverter(
+                    cells::InverterKind::PseudoE));
+        },
+        []() -> std::uint64_t {
+            const auto vtc = cells::VtcAnalyzer(101).analyze(
+                *fixtures().vtcInverter);
+            return vtc.vin.size();
+        },
+    });
+}
+
+void
+addNldmCharacterize(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "liberty.nldm_characterize",
+        "liberty",
+        "transistor-level NLDM characterization of the pseudo-E "
+        "inverter on the minimal 2x2 slew/load grid",
+        [] { fixtures().getFactory(); },
+        []() -> std::uint64_t {
+            liberty::Characterizer chr(fixtures().getFactory(),
+                                       miniGrid());
+            const auto cell = chr.characterizeCombinational("inv");
+            (void)cell;
+            const auto &grid = miniGrid();
+            return grid.slewAxis.size() * grid.loadMultipliers.size();
+        },
+    });
+}
+
+void
+addNetlistGenerate(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "netlist.generate_bufferize",
+        "netlist",
+        "8x8 array multiplier generation plus max-fanout-6 buffer-tree "
+        "insertion",
+        [] {},
+        []() -> std::uint64_t {
+            netlist::Netlist raw;
+            netlist::NetBuilder b(raw);
+            const auto x = b.inputBus("a", 8);
+            const auto y = b.inputBus("y", 8);
+            b.outputBus("p", netlist::arrayMultiplier(b, x, y));
+            return netlist::bufferize(raw, 6).numGates();
+        },
+    });
+}
+
+void
+addStaPipeline(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "sta.pipeline_cut_analyze",
+        "sta",
+        "8-stage pipeline cut of the buffered 16x16 multiplier plus "
+        "full STA on the silicon library",
+        [] {
+            fixtures().getSilicon();
+            fixtures().getAlu16();
+        },
+        []() -> std::uint64_t {
+            auto &f = fixtures();
+            const auto cut =
+                sta::Pipeliner(f.getSilicon()).pipeline(f.getAlu16(), 8);
+            const auto timing =
+                sta::StaEngine(f.getSilicon()).analyze(cut.netlist);
+            (void)timing;
+            return cut.netlist.numGates();
+        },
+    });
+}
+
+void
+addWorkloadTrace(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "workload.trace_generation",
+        "workload",
+        "200k-instruction synthetic mcf trace (branch/dependency/"
+        "locality models)",
+        [] {},
+        []() -> std::uint64_t {
+            constexpr std::uint64_t count = 200000;
+            workload::TraceGenerator gen(
+                workload::profileByName("mcf"), 11);
+            std::uint64_t taken = 0;
+            for (std::uint64_t i = 0; i < count; ++i)
+                taken += gen.next().taken ? 1 : 0;
+            // Consume `taken` so the loop cannot be elided.
+            return count + (taken & 1);
+        },
+    });
+}
+
+void
+addCoreSimulation(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "arch.core_simulation",
+        "arch",
+        "cycle-level baseline-core simulation of 30k dhrystone "
+        "instructions after 3k warmup",
+        [] {},
+        []() -> std::uint64_t {
+            workload::TraceGenerator gen(
+                workload::profileByName("dhrystone"), 11);
+            arch::CoreModel model(arch::baselineConfig(), gen);
+            return model.run(30000, 3000).instructions;
+        },
+    });
+}
+
+void
+addExplorerPoint(perf::ScenarioSuite &suite)
+{
+    suite.add({
+        "core.explorer_point",
+        "core",
+        "end-to-end design-point evaluation (synthesis + STA + IPC) "
+        "of the baseline core on the silicon library",
+        [] { fixtures().getSilicon(); },
+        []() -> std::uint64_t {
+            core::ExplorerConfig config;
+            config.instructions = 3000;
+            core::ArchExplorer explorer(fixtures().getSilicon(),
+                                        config);
+            (void)explorer.evaluate(arch::baselineConfig());
+            return config.instructions;
+        },
+    });
+}
+
+} // namespace
+
+void
+registerAllScenarios(perf::ScenarioSuite &suite)
+{
+    addDeviceFit(suite);
+    addDcOperatingPoint(suite);
+    addTransientStep(suite);
+    addVtcSweep(suite);
+    addNldmCharacterize(suite);
+    addNetlistGenerate(suite);
+    addStaPipeline(suite);
+    addWorkloadTrace(suite);
+    addCoreSimulation(suite);
+    addExplorerPoint(suite);
+}
+
+} // namespace otft::bench

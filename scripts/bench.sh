@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Record one point of the performance trajectory: build, run the
+# perf_suite scenario set, and write the next BENCH_<seq>.json in the
+# bench-results directory. Compare two points with bench/perf_diff or
+# scripts/perf_gate.sh.
+#
+# Usage: scripts/bench.sh [build-dir] [results-dir]
+#
+# Environment:
+#   OTFT_BENCH_REPS    repetitions per scenario (default 5)
+#   OTFT_BENCH_WARMUP  warmup reps per scenario (default 1)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-bench-results}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_suite perf_diff
+
+mkdir -p "${RESULTS_DIR}"
+
+# Next unused sequence number in the results directory.
+seq=1
+while [ -e "${RESULTS_DIR}/BENCH_${seq}.json" ]; do
+    seq=$((seq + 1))
+done
+out="${RESULTS_DIR}/BENCH_${seq}.json"
+
+"${BUILD_DIR}/bench/perf_suite" \
+    --reps "${OTFT_BENCH_REPS:-5}" \
+    --warmup "${OTFT_BENCH_WARMUP:-1}" \
+    --out "${out}"
+
+echo "recorded ${out}"
+prev="${RESULTS_DIR}/BENCH_$((seq - 1)).json"
+if [ -e "${prev}" ]; then
+    echo "comparing against ${prev}:"
+    # Informational here: recording must succeed even when slower.
+    "${BUILD_DIR}/bench/perf_diff" "${prev}" "${out}" || true
+fi

@@ -5,6 +5,24 @@
 
 #include "util/logging.hpp"
 #include "util/optimize.hpp"
+#include "util/stats_registry.hpp"
+
+namespace {
+
+/** Shared fit telemetry (both model levels feed the same stats). */
+void
+recordFitStats(int evals)
+{
+    static otft::stats::Counter &stat_fits = otft::stats::counter(
+        "device.fits.performed", "model fits run to completion");
+    static otft::stats::Counter &stat_evals = otft::stats::counter(
+        "device.fit.objective_evals",
+        "objective evaluations across all model fits");
+    ++stat_fits;
+    stat_evals += static_cast<std::uint64_t>(evals > 0 ? evals : 0);
+}
+
+} // namespace
 
 namespace otft::device {
 
@@ -88,6 +106,7 @@ ModelFitter::fitLevel1(const TransferCurve &curve,
     const auto result =
         nelderMead(objective, {start.vt, start.u0}, options);
 
+    recordFitStats(result.evals);
     Level1Fit fit;
     fit.params = start;
     fit.params.vt = result.x[0];
@@ -131,6 +150,7 @@ ModelFitter::fitLevel61(const TransferCurve &curve,
                                     start.ss, std::log10(start.iOff)};
     const auto result = nelderMead(objective, x0, options);
 
+    recordFitStats(result.evals);
     Level61Fit fit;
     fit.params = make_params(result.x);
     Level61Model model(polarity, geometry, fit.params);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::netlist {
 
@@ -58,8 +59,15 @@ class DriveTree
 Netlist
 bufferize(const Netlist &nl, int max_fanout)
 {
+    static stats::Counter &stat_runs = stats::counter(
+        "netlist.bufferize.runs", "fanout-buffering passes");
+    static stats::Counter &stat_buffers = stats::counter(
+        "netlist.buffers.inserted",
+        "inverter-pair buffers added by fanout trees");
     if (max_fanout < 2)
         fatal("bufferize: max_fanout must be >= 2");
+    ++stat_runs;
+    const std::size_t gates_before = nl.numGates();
 
     // Original sink counts (gate fanins plus output ports).
     const std::size_t n = nl.numGates();
@@ -120,6 +128,9 @@ bufferize(const Netlist &nl, int max_fanout)
 
     for (const auto &port : nl.outputs())
         out.addOutput(port.name, drive(port.gate));
+    // Every added gate beyond the remapped originals is half of an
+    // inverter-pair buffer.
+    stat_buffers += (out.numGates() - gates_before) / 2;
     return out;
 }
 

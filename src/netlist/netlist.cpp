@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::netlist {
 
@@ -80,6 +81,9 @@ Netlist::constant(bool value)
 GateId
 Netlist::addGate(GateKind kind, GateId a, GateId b, GateId c)
 {
+    static stats::Counter &stat_gates = stats::counter(
+        "netlist.gates.created", "combinational gates instantiated");
+    ++stat_gates;
     const int fan_in = fanInOf(kind);
     if (fan_in == 0 || kind == GateKind::Dff)
         panic("Netlist::addGate: not a combinational cell kind");
@@ -99,6 +103,9 @@ Netlist::addGate(GateKind kind, GateId a, GateId b, GateId c)
 GateId
 Netlist::addDff(GateId d)
 {
+    static stats::Counter &stat_flops = stats::counter(
+        "netlist.flops.created", "D flip-flops instantiated");
+    ++stat_flops;
     checked(d);
     Gate g;
     g.kind = GateKind::Dff;

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "util/logging.hpp"
+#include "util/perf_report.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
 
@@ -24,6 +25,20 @@ consumeArgs(int &argc, char **argv, int i, int count)
     for (int k = i; k + count < argc; ++k)
         argv[k] = argv[k + count];
     argc -= count;
+}
+
+/**
+ * Fail fast on an unwritable report path. Probing in append mode
+ * creates a missing file without clobbering an existing one; the real
+ * write happens at session exit.
+ */
+void
+validateWritable(const std::string &path, const char *flag)
+{
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        fatal("cli: cannot open '", path, "' for writing (", flag,
+              ")");
 }
 
 } // namespace
@@ -64,14 +79,33 @@ Session::Session(std::string name_in, int &argc, char **argv,
         if (const char *env = std::getenv("OTFT_TRACE_JSON"))
             traceJsonPath = env;
 
-    if (!traceJsonPath.empty())
+    if (!statsJsonPath.empty())
+        validateWritable(statsJsonPath, "--stats-json");
+    if (!traceJsonPath.empty()) {
+        validateWritable(traceJsonPath, "--trace-json");
         trace::start(traceJsonPath);
+    }
+}
+
+void
+Session::addFooterField(const std::string &key, double value)
+{
+    footerExtras.emplace_back(key, value);
 }
 
 Session::~Session()
 {
-    if (!traceJsonPath.empty())
-        trace::stop();
+    if (!traceJsonPath.empty()) {
+        // The path was probed at construction; losing it mid-run
+        // (deleted directory, full disk) must not throw from a
+        // destructor.
+        try {
+            trace::stop();
+        } catch (const FatalError &) {
+            warn("cli: trace timeline lost (", traceJsonPath,
+                 " became unwritable)");
+        }
+    }
 
     const auto &registry = stats::Registry::instance();
     if (!statsJsonPath.empty()) {
@@ -92,10 +126,13 @@ Session::~Session()
         const double wall_s =
             static_cast<double>(stats::monotonicNowNs() - startNs) *
             1e-9;
-        std::printf("{\"bench\": \"%s\", \"wall_s\": %.3f, "
-                    "\"points\": %lld}\n",
-                    name.c_str(), wall_s,
+        std::printf("{\"bench\": \"%s\", \"schema\": \"%s\", "
+                    "\"wall_s\": %.3f, \"points\": %lld",
+                    name.c_str(), perf::footerSchema, wall_s,
                     static_cast<long long>(points));
+        for (const auto &[key, value] : footerExtras)
+            std::printf(", \"%s\": %.6g", key.c_str(), value);
+        std::printf("}\n");
     }
 }
 

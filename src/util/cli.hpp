@@ -12,6 +12,11 @@
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
+ *
+ * Flags take precedence over the environment. Output paths are
+ * validated up front: an unwritable --stats-json/--trace-json target
+ * is a fatal() at construction (clear message, nonzero exit), not a
+ * silent warning after the run has burned its compute.
  */
 
 #ifndef OTFT_UTIL_CLI_HPP
@@ -19,6 +24,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace otft::cli {
 
@@ -29,8 +36,11 @@ enum class Footer { Off, On };
  * RAII driver session. Construct first thing in main() (it consumes
  * the observability flags so the driver's own argument handling never
  * sees them); destruction emits the requested reports. With
- * Footer::On the last stdout line is
- * `{"bench": "<name>", "wall_s": <t>, "points": <n>}`.
+ * Footer::On the last stdout line is the canonical bench footer
+ * `{"bench": "<name>", "schema": "otft-bench-footer-1",
+ * "wall_s": <t>, "points": <n>, ...extras}` — one schema across every
+ * fig/ext bench, which is what lets `perf_suite --ingest` fold figure
+ * benches into the BENCH_*.json trajectory.
  */
 class Session
 {
@@ -45,12 +55,24 @@ class Session
     /** Record the number of sweep/result points for the footer. */
     void setPoints(std::int64_t n) { points = n; }
 
+    /**
+     * Append a numeric field to the footer (after the canonical
+     * fields), so a bench can put a headline metric on the trajectory.
+     */
+    void addFooterField(const std::string &key, double value);
+
+    /** Parsed observability settings (exposed for tests). */
+    bool statsTextEnabled() const { return statsText; }
+    const std::string &statsJson() const { return statsJsonPath; }
+    const std::string &traceJson() const { return traceJsonPath; }
+
   private:
     std::string name;
     bool footer;
     bool statsText = false;
     std::string statsJsonPath;
     std::string traceJsonPath;
+    std::vector<std::pair<std::string, double>> footerExtras;
     std::int64_t points = 0;
     std::int64_t startNs;
 };

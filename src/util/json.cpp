@@ -1,0 +1,400 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace otft::json {
+
+const char *
+toString(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return "bool";
+      case Kind::Number:
+        return "number";
+      case Kind::String:
+        return "string";
+      case Kind::Array:
+        return "array";
+      case Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+[[noreturn]] void
+kindError(const char *wanted, Kind got)
+{
+    fatal("json: expected a ", wanted, ", value is ", toString(got));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        kindError("bool", kind_);
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        kindError("number", kind_);
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        kindError("string", kind_);
+    return string_;
+}
+
+const std::vector<Value> &
+Value::asArray() const
+{
+    if (kind_ != Kind::Array)
+        kindError("array", kind_);
+    return array_;
+}
+
+const std::map<std::string, Value> &
+Value::asObject() const
+{
+    if (kind_ != Kind::Object)
+        kindError("object", kind_);
+    return object_;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return kind_ == Kind::Object &&
+           object_.find(key) != object_.end();
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const auto &members = asObject();
+    auto it = members.find(key);
+    if (it == members.end())
+        fatal("json: missing member '", key, "'");
+    return it->second;
+}
+
+double
+Value::number(const std::string &key, double fallback) const
+{
+    return has(key) ? at(key).asNumber() : fallback;
+}
+
+std::string
+Value::string(const std::string &key, const std::string &fallback) const
+{
+    return has(key) ? at(key).asString() : fallback;
+}
+
+Value
+Value::makeNull()
+{
+    return Value();
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double n)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> items)
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+Value
+Value::makeObject(std::map<std::string, Value> members)
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+struct Parser
+{
+    std::istream &is;
+
+    void
+    skipWs()
+    {
+        while (std::isspace(is.peek()))
+            is.get();
+    }
+
+    int
+    peek()
+    {
+        skipWs();
+        return is.peek();
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        const int got = is.get();
+        if (got != c)
+            fatal("json: expected '", c, "', got ",
+                  got < 0 ? std::string("EOF")
+                          : std::string(1, static_cast<char>(got)));
+    }
+
+    void
+    expectWord(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            if (is.get() != *p)
+                fatal("json: bad literal (expected '", word, "')");
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (true) {
+            const int c = is.get();
+            if (c < 0)
+                fatal("json: unterminated string");
+            if (c == '"')
+                return s;
+            if (c != '\\') {
+                s.push_back(static_cast<char>(c));
+                continue;
+            }
+            const int esc = is.get();
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                s.push_back(static_cast<char>(esc));
+                break;
+              case 'n':
+                s.push_back('\n');
+                break;
+              case 't':
+                s.push_back('\t');
+                break;
+              case 'r':
+                s.push_back('\r');
+                break;
+              case 'b':
+                s.push_back('\b');
+                break;
+              case 'f':
+                s.push_back('\f');
+                break;
+              case 'u': {
+                // Decode \uXXXX; non-ASCII code points are emitted as
+                // UTF-8 (surrogate pairs are not recombined — the
+                // documents this reader consumes are ASCII).
+                int code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const int h = is.get();
+                    if (!std::isxdigit(h))
+                        fatal("json: bad \\u escape");
+                    code = code * 16 +
+                           (std::isdigit(h)
+                                ? h - '0'
+                                : std::tolower(h) - 'a' + 10);
+                }
+                if (code < 0x80) {
+                    s.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    s.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    s.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    s.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    s.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    s.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fatal("json: unknown escape '\\",
+                      std::string(1, static_cast<char>(esc)), "'");
+            }
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        const int c = peek();
+        if (c < 0)
+            fatal("json: unexpected EOF");
+        switch (c) {
+          case '{': {
+            is.get();
+            std::map<std::string, Value> members;
+            if (peek() == '}') {
+                is.get();
+                return Value::makeObject(std::move(members));
+            }
+            while (true) {
+                std::string key = parseString();
+                expect(':');
+                members[std::move(key)] = parseValue();
+                skipWs();
+                const int sep = is.get();
+                if (sep == '}')
+                    break;
+                if (sep != ',')
+                    fatal("json: expected ',' or '}' in object");
+            }
+            return Value::makeObject(std::move(members));
+          }
+          case '[': {
+            is.get();
+            std::vector<Value> items;
+            if (peek() == ']') {
+                is.get();
+                return Value::makeArray(std::move(items));
+            }
+            while (true) {
+                items.push_back(parseValue());
+                skipWs();
+                const int sep = is.get();
+                if (sep == ']')
+                    break;
+                if (sep != ',')
+                    fatal("json: expected ',' or ']' in array");
+            }
+            return Value::makeArray(std::move(items));
+          }
+          case '"':
+            return Value::makeString(parseString());
+          case 't':
+            expectWord("true");
+            return Value::makeBool(true);
+          case 'f':
+            expectWord("false");
+            return Value::makeBool(false);
+          case 'n':
+            expectWord("null");
+            return Value::makeNull();
+          default: {
+            double v = 0.0;
+            if (!(is >> v))
+                fatal("json: expected a value, got '",
+                      std::string(1, static_cast<char>(c)), "'");
+            return Value::makeNumber(v);
+          }
+        }
+    }
+};
+
+} // namespace
+
+Value
+parse(std::istream &is)
+{
+    Parser parser{is};
+    return parser.parseValue();
+}
+
+Value
+parse(const std::string &text)
+{
+    std::istringstream iss(text);
+    Value v = parse(iss);
+    // A complete string must hold exactly one document.
+    while (std::isspace(iss.peek()))
+        iss.get();
+    if (iss.peek() >= 0)
+        fatal("json: trailing content after document");
+    return v;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace otft::json

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Perf flight recorder: scenario suite runner, canonical BENCH_*.json
+ * reports, and noise-aware report diffing.
+ *
+ * The pieces fit together as a longitudinal performance record:
+ *
+ *  - a ScenarioSuite runs registered scenarios (one per layer of the
+ *    paper flow) with configurable warmup and repetitions, measuring
+ *    per-rep wall time and the per-scenario *stats-registry counter
+ *    deltas* — Newton iterations, LU factorizations, arc evaluations,
+ *    cache hits — so algorithmic regressions show even when wall-time
+ *    noise hides them;
+ *  - writeReport()/readReport() serialize a schema-versioned report
+ *    ("otft-bench-1") with an environment fingerprint (git SHA,
+ *    compiler, build type, CPU count) for apples-to-apples trend
+ *    lines;
+ *  - diffReports() compares two reports with a noise gate derived
+ *    from the median absolute deviation (MAD) of the wall-time
+ *    samples: a scenario only counts as a regression when its median
+ *    moved by more than max(rel-threshold x baseline, K x MAD,
+ *    absolute floor). Counter deltas are near-deterministic, so they
+ *    use a tight relative threshold.
+ *
+ * The `perf_suite` bench binary provides the scenarios and CLI; the
+ * `perf_diff` binary wraps diffReports() with table output and a
+ * nonzero exit on regression, which is what scripts/perf_gate.sh and
+ * the perf_smoke ctest label gate on.
+ */
+
+#ifndef OTFT_UTIL_PERF_REPORT_HPP
+#define OTFT_UTIL_PERF_REPORT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otft::perf {
+
+/** The schema tag written into (and required of) report files. */
+inline constexpr const char *reportSchema = "otft-bench-1";
+
+/** The schema tag of the one-line bench footers (see cli::Session). */
+inline constexpr const char *footerSchema = "otft-bench-footer-1";
+
+// ---------------------------------------------------------------------
+// Robust timing statistics.
+// ---------------------------------------------------------------------
+
+/** Robust summary of one scenario's wall-time samples, seconds. */
+struct TimingSummary
+{
+    std::uint64_t reps = 0;
+    double minS = 0.0;
+    double medianS = 0.0;
+    /** Median absolute deviation from the median (noise scale). */
+    double madS = 0.0;
+    double p95S = 0.0;
+    double meanS = 0.0;
+    double totalS = 0.0;
+};
+
+/**
+ * Rank-based percentile of an ascending-sorted sample vector with
+ * linear interpolation between order statistics (rank p/100 * (n-1)).
+ * Empty input reports 0.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Summarize samples (any order); does not modify the argument. */
+TimingSummary summarizeTimes(const std::vector<double> &samples);
+
+// ---------------------------------------------------------------------
+// Environment fingerprint.
+// ---------------------------------------------------------------------
+
+/** Where a report was recorded, for apples-to-apples comparisons. */
+struct EnvFingerprint
+{
+    std::string gitSha;
+    std::string compiler;
+    std::string buildType;
+    std::string os;
+    int cpuCount = 0;
+    std::string timestampUtc;
+};
+
+/** Fingerprint of this build/process. */
+EnvFingerprint currentEnvironment();
+
+// ---------------------------------------------------------------------
+// Scenarios and the suite runner.
+// ---------------------------------------------------------------------
+
+/** One registered benchmark scenario. */
+struct Scenario
+{
+    /** Dotted name, `layer.what` ("circuit.dc_operating_point"). */
+    std::string name;
+    /** The flow layer it exercises ("circuit", "sta", ...). */
+    std::string layer;
+    std::string description;
+    /** Untimed one-time preparation (builds fixtures/caches). */
+    std::function<void()> setup;
+    /** One timed repetition; returns a points count for the report. */
+    std::function<std::uint64_t()> run;
+};
+
+/** Result of running one scenario (or one ingested footer). */
+struct ScenarioResult
+{
+    std::string name;
+    std::string layer;
+    std::string description;
+    std::uint64_t points = 0;
+    TimingSummary timing;
+    /** Per-rep wall times, seconds, in run order. */
+    std::vector<double> samplesS;
+    /**
+     * Per-rep stats-registry counter deltas (total across measured
+     * reps divided by rep count). Only counters that moved appear.
+     */
+    std::map<std::string, double> counters;
+};
+
+/** Suite run controls. */
+struct SuiteOptions
+{
+    std::uint64_t reps = 5;
+    std::uint64_t warmup = 1;
+    /** Substring filter on scenario names; empty runs everything. */
+    std::string filter;
+};
+
+/** An ordered collection of runnable scenarios. */
+class ScenarioSuite
+{
+  public:
+    /** Register a scenario; fatal on a duplicate name. */
+    void add(Scenario scenario);
+
+    const std::vector<Scenario> &scenarios() const { return items; }
+
+    /**
+     * Run every scenario matching the filter: setup (untimed), warmup
+     * reps, stats-registry reset, then `reps` timed reps with the
+     * counter delta captured across them. Progress goes through
+     * inform(), so OTFT_LOG_LEVEL/setQuiet() control it.
+     */
+    std::vector<ScenarioResult> run(const SuiteOptions &options) const;
+
+  private:
+    std::vector<Scenario> items;
+};
+
+// ---------------------------------------------------------------------
+// The canonical report document.
+// ---------------------------------------------------------------------
+
+/** One BENCH_*.json document. */
+struct BenchReport
+{
+    std::string suite = "perf_suite";
+    std::uint64_t reps = 0;
+    std::uint64_t warmup = 0;
+    EnvFingerprint env;
+    std::vector<ScenarioResult> scenarios;
+};
+
+/** Serialize as schema-versioned JSON (stable field order). */
+void writeReport(const BenchReport &report, std::ostream &os);
+
+/**
+ * Parse a report document; fatal on malformed input or a schema tag
+ * other than reportSchema.
+ */
+BenchReport readReport(std::istream &is);
+
+/**
+ * Parse newline-delimited bench footers (the last stdout line of
+ * every fig / ext bench) into single-sample scenario results under
+ * layer "bench". Numeric footer fields beyond wall_s/points are kept
+ * as counter-style metrics so they join the trajectory. Lines that are
+ * not footer objects are skipped.
+ */
+std::vector<ScenarioResult> ingestFooters(std::istream &is);
+
+// ---------------------------------------------------------------------
+// Noise-aware diffing.
+// ---------------------------------------------------------------------
+
+/** Gate configuration for diffReports(). */
+struct DiffOptions
+{
+    /** Relative wall-time change that counts as real. */
+    double wallThreshold = 0.10;
+    /** Noise gate width in MADs (of the noisier report). */
+    double madK = 3.0;
+    /** Absolute wall-time floor, seconds (clock granularity). */
+    double minWallDeltaS = 20e-6;
+    /** Relative threshold for per-rep counter deltas. */
+    double counterThreshold = 0.02;
+};
+
+/** Verdict for one compared metric. */
+enum class DiffStatus { Unchanged, Improved, Regressed, Added, Removed };
+
+/** @return printable status ("ok", "REGRESSED", ...). */
+const char *toString(DiffStatus status);
+
+/** One compared metric of one scenario. */
+struct DiffEntry
+{
+    std::string scenario;
+    /** "wall_s" or a counter name. */
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** Relative change (current - baseline) / baseline. */
+    double delta = 0.0;
+    /** The absolute change the gate required before flagging. */
+    double gate = 0.0;
+    DiffStatus status = DiffStatus::Unchanged;
+};
+
+/** Full comparison of two reports. */
+struct DiffReport
+{
+    /**
+     * One wall_s entry per scenario (matched, added, or removed) plus
+     * one entry per counter whose change cleared the gate.
+     */
+    std::vector<DiffEntry> entries;
+    int regressions = 0;
+    int improvements = 0;
+};
+
+/** Compare `current` against `baseline` under the gate options. */
+DiffReport diffReports(const BenchReport &baseline,
+                       const BenchReport &current,
+                       const DiffOptions &options = {});
+
+/** Render the regression/improvement table. */
+void renderDiff(const DiffReport &diff, std::ostream &os);
+
+} // namespace otft::perf
+
+#endif // OTFT_UTIL_PERF_REPORT_HPP

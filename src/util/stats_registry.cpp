@@ -46,6 +46,34 @@ Histogram::totalSamples() const
     return total;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t b : bins_)
+        n += b;
+    if (n == 0)
+        return lo_;
+    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+    const double target =
+        clamped / 100.0 * static_cast<double>(n);
+    const double width =
+        (hi_ - lo_) / static_cast<double>(bins_.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        const double next = cum + static_cast<double>(bins_[i]);
+        if (target <= next) {
+            const double frac =
+                (target - cum) / static_cast<double>(bins_[i]);
+            return lo_ + width * (static_cast<double>(i) + frac);
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
 void
 Histogram::reset()
 {
@@ -175,6 +203,16 @@ Registry::has(const std::string &name) const
     return nodes.find(name) != nodes.end();
 }
 
+std::map<std::string, std::uint64_t>
+Registry::counterSnapshot() const
+{
+    std::map<std::string, std::uint64_t> values;
+    for (const auto &[name, node] : nodes)
+        if (node->kind == NodeKind::Counter)
+            values[name] = node->counter.value();
+    return values;
+}
+
 void
 Registry::reset()
 {
@@ -265,7 +303,9 @@ Registry::dumpText(std::ostream &os) const
             for (std::size_t i = 0; i < h.bins().size(); ++i)
                 value << (i ? " " : "") << h.bins()[i];
             value << "] under=" << h.underflow()
-                  << " over=" << h.overflow();
+                  << " over=" << h.overflow()
+                  << " p50=" << formatNumber(h.p50())
+                  << " p95=" << formatNumber(h.p95());
             break;
           }
           case NodeKind::Rate:
@@ -305,7 +345,10 @@ Registry::dumpJson(std::ostream &os) const
             os << "{\"lo\": " << jsonNumber(h.lo())
                << ", \"hi\": " << jsonNumber(h.hi())
                << ", \"underflow\": " << h.underflow()
-               << ", \"overflow\": " << h.overflow() << ", \"bins\": [";
+               << ", \"overflow\": " << h.overflow()
+               << ", \"p50\": " << jsonNumber(h.p50())
+               << ", \"p95\": " << jsonNumber(h.p95())
+               << ", \"bins\": [";
             for (std::size_t i = 0; i < h.bins().size(); ++i)
                 os << (i ? ", " : "") << h.bins()[i];
             os << "]}";
@@ -497,6 +540,8 @@ parseSnapshot(std::istream &is)
                     static_cast<std::uint64_t>(fields["underflow"]);
                 h.overflow =
                     static_cast<std::uint64_t>(fields["overflow"]);
+                h.p50 = fields["p50"];
+                h.p95 = fields["p95"];
                 for (double b : bins)
                     h.bins.push_back(static_cast<std::uint64_t>(b));
                 snapshot.histograms[name] = h;

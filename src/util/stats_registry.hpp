@@ -110,6 +110,18 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalSamples() const;
 
+    /**
+     * Percentile estimate over the binned samples (under/overflow
+     * excluded — their exact values are unknown), interpolated
+     * linearly within the containing bin. p is clamped to [0, 100];
+     * an empty histogram reports lo().
+     */
+    double percentile(double p) const;
+
+    /** Median and tail shorthands for reports. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+
     void reset();
 
   private:
@@ -160,6 +172,12 @@ class Registry
 
     /** @return true if `name` is registered (any kind). */
     bool has(const std::string &name) const;
+
+    /**
+     * Values of every registered counter, keyed by name. Used by the
+     * perf suite to compute per-scenario counter deltas.
+     */
+    std::map<std::string, std::uint64_t> counterSnapshot() const;
 
     /** Zero every node's value; registrations persist. */
     void reset();
@@ -249,6 +267,8 @@ struct SnapshotHistogram
     double hi = 0.0;
     std::uint64_t underflow = 0;
     std::uint64_t overflow = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
     std::vector<std::uint64_t> bins;
 };
 

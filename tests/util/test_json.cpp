@@ -1,0 +1,91 @@
+/** @file Unit tests for util/json. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace otft::json {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").asBool());
+    EXPECT_FALSE(parse("false").asBool());
+    EXPECT_DOUBLE_EQ(parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-1.5e3").asNumber(), -1500.0);
+    EXPECT_EQ(parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const Value v = parse(
+        "{\"name\": \"suite\", \"reps\": 3, "
+        "\"wall\": {\"median\": 0.25}, "
+        "\"samples\": [0.2, 0.25, 0.3], \"ok\": true}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.string("name"), "suite");
+    EXPECT_DOUBLE_EQ(v.number("reps"), 3.0);
+    EXPECT_DOUBLE_EQ(v.at("wall").number("median"), 0.25);
+    const auto &samples = v.at("samples").asArray();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_DOUBLE_EQ(samples[1].asNumber(), 0.25);
+    EXPECT_TRUE(v.at("ok").asBool());
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    const Value v =
+        parse("\"tab\\t quote\\\" back\\\\ newline\\n u\\u0041\"");
+    EXPECT_EQ(v.asString(), "tab\t quote\" back\\ newline\n uA");
+}
+
+TEST(Json, EscapeProducesParseableStrings)
+{
+    const std::string raw = "a\"b\\c\nd\te";
+    const Value v = parse("\"" + escape(raw) + "\"");
+    EXPECT_EQ(v.asString(), raw);
+}
+
+TEST(Json, MissingMembersUseFallbacks)
+{
+    const Value v = parse("{\"x\": 1}");
+    EXPECT_TRUE(v.has("x"));
+    EXPECT_FALSE(v.has("y"));
+    EXPECT_DOUBLE_EQ(v.number("y", -2.0), -2.0);
+    EXPECT_EQ(v.string("y", "none"), "none");
+    EXPECT_THROW(v.at("y"), FatalError);
+}
+
+TEST(Json, KindMismatchIsFatal)
+{
+    const Value v = parse("{\"x\": 1}");
+    EXPECT_THROW(v.asNumber(), FatalError);
+    EXPECT_THROW(v.at("x").asString(), FatalError);
+}
+
+TEST(Json, MalformedInputIsFatal)
+{
+    EXPECT_THROW(parse("{\"x\": }"), FatalError);
+    EXPECT_THROW(parse("[1, 2"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse(""), FatalError);
+    // The string overload rejects trailing garbage...
+    EXPECT_THROW(parse("{} {}"), FatalError);
+}
+
+TEST(Json, StreamOverloadSupportsNdjson)
+{
+    // ...while the stream overload leaves it for the next call.
+    std::istringstream is("{\"a\": 1}\n{\"a\": 2}\n");
+    const Value first = parse(is);
+    const Value second = parse(is);
+    EXPECT_DOUBLE_EQ(first.number("a"), 1.0);
+    EXPECT_DOUBLE_EQ(second.number("a"), 2.0);
+}
+
+} // namespace
+} // namespace otft::json

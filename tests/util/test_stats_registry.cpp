@@ -68,6 +68,63 @@ TEST(StatsRegistry, HistogramBinsSamples)
     EXPECT_EQ(h.totalSamples(), 7u);
 }
 
+TEST(StatsRegistry, HistogramPercentilesInterpolateWithinBins)
+{
+    Histogram &h = histogram("test.pct.histogram", 0.0, 10.0, 5,
+                             "percentile check");
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0); // empty reports lo
+
+    // 50 samples in bin 0 ([0,2)), 50 in bin 1 ([2,4)): the median
+    // sits exactly at the bin boundary, p95 90% into bin 1.
+    for (int i = 0; i < 50; ++i) {
+        h.sample(1.0);
+        h.sample(3.0);
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 2.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 3.8);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+    // Out-of-range requests clamp rather than extrapolate.
+    EXPECT_DOUBLE_EQ(h.percentile(150.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), 0.0);
+
+    // Overflow mass is excluded from the percentile population.
+    h.sample(1e9);
+    EXPECT_DOUBLE_EQ(h.p50(), 2.0);
+}
+
+TEST(StatsRegistry, PercentilesSurviveJsonRoundTrip)
+{
+    Registry &reg = Registry::instance();
+    Histogram &h = histogram("test.pct.roundtrip", 0.0, 8.0, 4);
+    h.reset();
+    for (int i = 0; i < 10; ++i)
+        h.sample(1.0);
+    std::stringstream ss;
+    reg.dumpJson(ss);
+    const Snapshot snap = parseSnapshot(ss);
+    const auto it = snap.histograms.find("test.pct.roundtrip");
+    ASSERT_NE(it, snap.histograms.end());
+    EXPECT_DOUBLE_EQ(it->second.p50, h.p50());
+    EXPECT_DOUBLE_EQ(it->second.p95, h.p95());
+    EXPECT_GT(it->second.p95, it->second.p50);
+}
+
+TEST(StatsRegistry, CounterSnapshotListsOnlyCounters)
+{
+    Registry &reg = Registry::instance();
+    Counter &c = counter("test.snap.counter");
+    accumulator("test.snap.accumulator").sample(1.0);
+    c.reset();
+    c += 5;
+    const auto snap = reg.counterSnapshot();
+    const auto it = snap.find("test.snap.counter");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second, 5u);
+    EXPECT_EQ(snap.count("test.snap.accumulator"), 0u);
+}
+
 TEST(StatsRegistry, KindMismatchIsFatal)
 {
     counter("test.kind.scalar");
