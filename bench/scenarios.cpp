@@ -21,6 +21,7 @@
 #include "netlist/netlist.hpp"
 #include "sta/pipeline.hpp"
 #include "sta/sta.hpp"
+#include "util/parallel.hpp"
 #include "workload/trace.hpp"
 
 namespace otft::bench {
@@ -210,6 +211,26 @@ addNldmCharacterize(perf::ScenarioSuite &suite)
         "inverter on the minimal 2x2 slew/load grid",
         [] { fixtures().getFactory(); },
         []() -> std::uint64_t {
+            // Pinned serial so this trajectory stays comparable with
+            // reports recorded before the parallel layer landed; the
+            // _par variant below measures the threaded path.
+            parallel::JobsOverride pin(1);
+            liberty::Characterizer chr(fixtures().getFactory(),
+                                       miniGrid());
+            const auto cell = chr.characterizeCombinational("inv");
+            (void)cell;
+            const auto &grid = miniGrid();
+            return grid.slewAxis.size() * grid.loadMultipliers.size();
+        },
+    });
+    suite.add({
+        "liberty.nldm_characterize_par",
+        "liberty",
+        "the nldm_characterize workload fanned out across all "
+        "hardware threads (one task per slew/load grid point)",
+        [] { fixtures().getFactory(); },
+        []() -> std::uint64_t {
+            parallel::JobsOverride pin(parallel::hardwareJobs());
             liberty::Characterizer chr(fixtures().getFactory(),
                                        miniGrid());
             const auto cell = chr.characterizeCombinational("inv");
@@ -314,12 +335,86 @@ addExplorerPoint(perf::ScenarioSuite &suite)
         "of the baseline core on the silicon library",
         [] { fixtures().getSilicon(); },
         []() -> std::uint64_t {
+            // Pinned serial for trajectory continuity (see
+            // liberty.nldm_characterize).
+            parallel::JobsOverride pin(1);
             core::ExplorerConfig config;
             config.instructions = 3000;
             core::ArchExplorer explorer(fixtures().getSilicon(),
                                         config);
             (void)explorer.evaluate(arch::baselineConfig());
             return config.instructions;
+        },
+    });
+}
+
+/**
+ * The seven-workload IPC fan-out as a serial/parallel pair; the ratio
+ * of the two medians is the headline speedup of the parallel layer on
+ * this machine.
+ */
+void
+addIpcFanout(perf::ScenarioSuite &suite)
+{
+    const auto body = [](int jobs_count) -> std::uint64_t {
+        parallel::JobsOverride pin(jobs_count);
+        core::ExplorerConfig config;
+        config.instructions = 5000;
+        core::ArchExplorer explorer(fixtures().getSilicon(), config);
+        const auto ipc = explorer.measureIpc(arch::baselineConfig());
+        return config.instructions * ipc.size();
+    };
+    suite.add({
+        "core.ipc_fanout_serial",
+        "core",
+        "seven-workload IPC simulation of the baseline core, pinned "
+        "to one worker",
+        [] { fixtures().getSilicon(); },
+        [body]() -> std::uint64_t { return body(1); },
+    });
+    suite.add({
+        "core.ipc_fanout_parallel",
+        "core",
+        "seven-workload IPC simulation of the baseline core across "
+        "all hardware threads",
+        [] { fixtures().getSilicon(); },
+        [body]() -> std::uint64_t {
+            return body(parallel::hardwareJobs());
+        },
+    });
+}
+
+/**
+ * A reduced width-sweep grid as a serial/parallel pair; exercises the
+ * task-local-synthesizer path of ArchExplorer::widthSweep.
+ */
+void
+addExplorerSweep(perf::ScenarioSuite &suite)
+{
+    const auto body = [](int jobs_count) -> std::uint64_t {
+        parallel::JobsOverride pin(jobs_count);
+        core::ExplorerConfig config;
+        config.instructions = 2000;
+        core::ArchExplorer explorer(fixtures().getSilicon(), config);
+        const auto sweep = explorer.widthSweep(1, 2, 3, 4);
+        return sweep.points.size() * sweep.points.front().size();
+    };
+    suite.add({
+        "core.explorer_sweep_serial",
+        "core",
+        "2x2 width-sweep grid (synthesis + STA + IPC per point), "
+        "pinned to one worker",
+        [] { fixtures().getSilicon(); },
+        [body]() -> std::uint64_t { return body(1); },
+    });
+    suite.add({
+        "core.explorer_sweep_parallel",
+        "core",
+        "2x2 width-sweep grid (synthesis + STA + IPC per point) "
+        "across all hardware threads",
+        [] { fixtures().getSilicon(); },
+        [body]() -> std::uint64_t {
+            return body(parallel::hardwareJobs());
         },
     });
 }
@@ -339,6 +434,8 @@ registerAllScenarios(perf::ScenarioSuite &suite)
     addWorkloadTrace(suite);
     addCoreSimulation(suite);
     addExplorerPoint(suite);
+    addIpcFanout(suite);
+    addExplorerSweep(suite);
 }
 
 } // namespace otft::bench

@@ -3,12 +3,36 @@
 # the tier1-labelled test suite. This is the gate every change must
 # pass; CI runs exactly this script.
 #
-# Usage: scripts/verify.sh [build-dir]
+# Usage: scripts/verify.sh [--tsan|--asan] [build-dir]
+#
+#   --tsan   build with -fsanitize=thread into <build-dir>-tsan and
+#            run the concurrency-labelled tests under it
+#   --asan   build with -fsanitize=address into <build-dir>-asan and
+#            run the full tier1 label under it
+#
+# The sanitizer lanes keep their own build trees so the default tree
+# stays warm for the plain gate.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+SANITIZE=""
+LANE_SUFFIX=""
+TEST_LABEL="tier1"
+if [[ "${1:-}" == "--tsan" ]]; then
+    SANITIZE="thread"
+    LANE_SUFFIX="-tsan"
+    TEST_LABEL="concurrency"
+    shift
+elif [[ "${1:-}" == "--asan" ]]; then
+    SANITIZE="address"
+    LANE_SUFFIX="-asan"
+    shift
+fi
+
+BUILD_DIR="${1:-build}${LANE_SUFFIX}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "${BUILD_DIR}" -S "$(dirname "$0")/.." -DOTFT_WERROR=ON
+cmake -B "${BUILD_DIR}" -S "$(dirname "$0")/.." -DOTFT_WERROR=ON \
+    -DOTFT_SANITIZE="${SANITIZE}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" -L "${TEST_LABEL}" \
+    --output-on-failure -j "${JOBS}"

@@ -3,6 +3,7 @@
 #include "core/blocks.hpp"
 #include "netlist/bufferize.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -25,18 +26,27 @@ ArchExplorer::measureIpc(const arch::CoreConfig &config)
     OTFT_TRACE_SCOPE("explorer.point.simulate");
     stats::ScopedTimer timer(stat_sim_time);
 
-    std::vector<double> ipc;
-    ipc.reserve(workloads.size());
-    for (const auto &profile : workloads) {
-        workload::TraceGenerator trace(profile, config_.seed);
-        arch::CoreModel core(config, trace);
-        ipc.push_back(core.run(config_.instructions).ipc());
-    }
-    return ipc;
+    // Each workload simulates on its own generator + core model, so
+    // the seven IPC runs fan out; slots land in paperWorkloads()
+    // order, identical to the serial loop.
+    return parallel::orderedMap<double>(
+        workloads.size(), [&](std::size_t i) {
+            workload::TraceGenerator trace(workloads[i],
+                                           config_.seed);
+            arch::CoreModel core(config, trace);
+            return core.run(config_.instructions).ipc();
+        });
 }
 
 DesignPoint
 ArchExplorer::evaluate(const arch::CoreConfig &config)
+{
+    return evaluateWith(synth, config);
+}
+
+DesignPoint
+ArchExplorer::evaluateWith(CoreSynthesizer &synthesizer,
+                           const arch::CoreConfig &config)
 {
     static stats::Counter &stat_points = stats::counter(
         "explorer.points.evaluated",
@@ -51,7 +61,7 @@ ArchExplorer::evaluate(const arch::CoreConfig &config)
     point.config = config;
     {
         stats::ScopedTimer timer(stat_synth_time);
-        point.timing = synth.synthesize(config);
+        point.timing = synthesizer.synthesize(config);
     }
     point.ipc = measureIpc(config);
     point.meanIpc = mean(point.ipc);
@@ -92,18 +102,40 @@ ArchExplorer::widthSweep(int fe_min, int fe_max, int be_min, int be_max)
     sweep.beMin = be_min;
     sweep.beMax = be_max;
 
-    for (int be = be_min; be <= be_max; ++be) {
-        std::vector<DesignPoint> row;
-        for (int fe = fe_min; fe <= fe_max; ++fe) {
+    // Validate the whole grid before spawning any work.
+    const arch::CoreConfig base = arch::baselineConfig();
+    for (int be = be_min; be <= be_max; ++be)
+        if (be - base.memPipes - base.branchPipes < 1)
+            fatal("widthSweep: back-end width ", be,
+                  " leaves no ALU pipes");
+
+    // One task per flattened (be, fe) point. CoreSynthesizer keeps
+    // internal memo caches, so each task synthesizes through its own
+    // instance; the caches only skip recomputation, so the values
+    // match the shared-synthesizer serial path bit for bit.
+    const std::size_t n_fe =
+        static_cast<std::size_t>(fe_max - fe_min + 1);
+    const std::size_t n_be =
+        static_cast<std::size_t>(be_max - be_min + 1);
+    auto flat = parallel::orderedMap<DesignPoint>(
+        n_be * n_fe, [&](std::size_t k) {
+            const int be = be_min + static_cast<int>(k / n_fe);
+            const int fe = fe_min + static_cast<int>(k % n_fe);
             arch::CoreConfig config = arch::baselineConfig();
             config.fetchWidth = fe;
-            config.aluPipes = be - config.memPipes - config.branchPipes;
-            if (config.aluPipes < 1)
-                fatal("widthSweep: back-end width ", be,
-                      " leaves no ALU pipes");
-            row.push_back(evaluate(config));
-        }
-        sweep.points.push_back(std::move(row));
+            config.aluPipes =
+                be - config.memPipes - config.branchPipes;
+            CoreSynthesizer local(library, config_.sta);
+            return evaluateWith(local, config);
+        });
+
+    for (std::size_t row = 0; row < n_be; ++row) {
+        auto first = flat.begin() +
+                     static_cast<std::ptrdiff_t>(row * n_fe);
+        sweep.points.emplace_back(
+            std::make_move_iterator(first),
+            std::make_move_iterator(first +
+                                    static_cast<std::ptrdiff_t>(n_fe)));
     }
     return sweep;
 }
@@ -116,18 +148,19 @@ ArchExplorer::aluDepthSweep(const std::vector<int> &stages)
     sta::Pipeliner pipeliner(library, config_.sta);
     sta::StaEngine engine(library, config_.sta);
 
-    std::vector<AluPoint> points;
-    points.reserve(stages.size());
-    for (int n : stages) {
-        const auto report = pipeliner.pipeline(alu, n);
-        const auto sta = engine.analyze(report.netlist);
-        AluPoint p;
-        p.stages = n;
-        p.frequency = sta.maxFrequency;
-        p.area = sta.area;
-        points.push_back(p);
-    }
-    return points;
+    // Pipeliner::pipeline and StaEngine::analyze are const, so the
+    // stage-count tasks share both engines safely.
+    return parallel::orderedMap<AluPoint>(
+        stages.size(), [&](std::size_t i) {
+            const int n = stages[i];
+            const auto report = pipeliner.pipeline(alu, n);
+            const auto sta = engine.analyze(report.netlist);
+            AluPoint p;
+            p.stages = n;
+            p.frequency = sta.maxFrequency;
+            p.area = sta.area;
+            return p;
+        });
 }
 
 } // namespace otft::core

@@ -102,6 +102,15 @@ class ArchExplorer
     CoreSynthesizer &synthesizer() { return synth; }
 
   private:
+    /**
+     * evaluate() against an explicit synthesizer. Parallel sweeps
+     * evaluate through task-local CoreSynthesizer instances (its memo
+     * caches are not concurrency-safe); caching only skips repeated
+     * work, so the numbers match the shared-instance serial path.
+     */
+    DesignPoint evaluateWith(CoreSynthesizer &synthesizer,
+                             const arch::CoreConfig &config);
+
     const liberty::CellLibrary &library;
     ExplorerConfig config_;
     CoreSynthesizer synth;

@@ -7,6 +7,7 @@
 #include "circuit/transient.hpp"
 #include "liberty/serialize.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
 
@@ -166,19 +167,28 @@ Characterizer::characterizeCombinational(const std::string &name) const
 
     static stats::Counter &stat_arcs = stats::counter(
         "liberty.arcs.characterized", "timing arcs characterized");
+    const std::size_t n_load = load_axis.size();
+    const std::size_t n_grid = config_.slewAxis.size() * n_load;
     for (int pin = 0; pin < cell.fanIn; ++pin) {
         ++stat_arcs;
         TimingArc arc;
         arc.fromPin = std::string(1, static_cast<char>('a' + pin));
+        // Every (slew, load) point is an independent transient on its
+        // own circuit instance; orderedMap keeps the slot order equal
+        // to the serial nested loop, so the NLDM tables are
+        // bit-identical at any job count.
+        const auto grid = parallel::orderedMap<ArcPoint>(
+            n_grid, [&](std::size_t k) {
+                const double slew = config_.slewAxis[k / n_load];
+                const double load = load_axis[k % n_load];
+                return measurePoint(name, pin, slew, load);
+            });
         std::vector<double> d_rise, d_fall, s_rise, s_fall;
-        for (double slew : config_.slewAxis) {
-            for (double load : load_axis) {
-                const ArcPoint p = measurePoint(name, pin, slew, load);
-                d_rise.push_back(p.delayRise);
-                d_fall.push_back(p.delayFall);
-                s_rise.push_back(p.slewRise);
-                s_fall.push_back(p.slewFall);
-            }
+        for (const ArcPoint &p : grid) {
+            d_rise.push_back(p.delayRise);
+            d_fall.push_back(p.delayFall);
+            s_rise.push_back(p.slewRise);
+            s_fall.push_back(p.slewFall);
         }
         arc.delay[static_cast<int>(Sense::Rise)] =
             NldmTable(config_.slewAxis, load_axis, std::move(d_rise));
@@ -352,9 +362,19 @@ Characterizer::build() const
     OTFT_TRACE_SCOPE("liberty.library.build");
     CellLibrary library("organic", factory.supply().vdd);
 
-    for (const char *name : combinationalNames)
-        library.addCell(characterizeCombinational(name));
-    library.addCell(characterizeFlop());
+    // One task per roster cell; inside a worker the per-arc grid maps
+    // run inline, so the two levels never deadlock. Cells are
+    // assembled in roster order regardless of completion order.
+    const std::size_t n_comb = std::size(combinationalNames);
+    auto cells = parallel::orderedMap<StdCell>(
+        n_comb + 1, [&](std::size_t i) {
+            if (i < n_comb)
+                return characterizeCombinational(
+                    combinationalNames[i]);
+            return characterizeFlop();
+        });
+    for (StdCell &cell : cells)
+        library.addCell(std::move(cell));
 
     // Printed Au interconnect on glass: wide, thick wires over a
     // low-k substrate; net lengths scale with the ~0.5 mm cell pitch.

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/perf_report.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -41,6 +42,37 @@ validateWritable(const std::string &path, const char *flag)
               ")");
 }
 
+/**
+ * Parse and validate a --jobs/OTFT_JOBS value: a positive decimal
+ * integer, clamped to the hardware concurrency. 0, negative, or
+ * non-numeric input is fatal (a silent fallback would quietly run a
+ * sweep serial or oversubscribed).
+ */
+int
+parseJobs(const std::string &text, const char *source)
+{
+    std::size_t consumed = 0;
+    long value = 0;
+    try {
+        value = std::stol(text, &consumed);
+    } catch (const std::exception &) {
+        fatal("cli: ", source, " must be a positive integer, got '",
+              text, "'");
+    }
+    if (consumed != text.size())
+        fatal("cli: ", source, " must be a positive integer, got '",
+              text, "'");
+    if (value < 1)
+        fatal("cli: ", source, " must be >= 1, got ", value);
+    const int hw = parallel::hardwareJobs();
+    if (value > hw) {
+        warn("cli: ", source, "=", value, " exceeds the ", hw,
+             " hardware threads; clamping");
+        return hw;
+    }
+    return static_cast<int>(value);
+}
+
 } // namespace
 
 Session::Session(std::string name_in, int &argc, char **argv,
@@ -65,6 +97,11 @@ Session::Session(std::string name_in, int &argc, char **argv,
                 fatal("cli: --trace-json requires a path");
             traceJsonPath = argv[i + 1];
             consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (!has_value)
+                fatal("cli: --jobs requires a count");
+            jobs_ = parseJobs(argv[i + 1], "--jobs");
+            consumeArgs(argc, argv, i, 2);
         } else {
             ++i;
         }
@@ -78,6 +115,13 @@ Session::Session(std::string name_in, int &argc, char **argv,
     if (traceJsonPath.empty())
         if (const char *env = std::getenv("OTFT_TRACE_JSON"))
             traceJsonPath = env;
+    if (jobs_ == 0)
+        if (const char *env = std::getenv("OTFT_JOBS"))
+            jobs_ = parseJobs(env, "OTFT_JOBS");
+
+    if (jobs_ == 0)
+        jobs_ = parallel::hardwareJobs();
+    parallel::setJobs(jobs_);
 
     if (!statsJsonPath.empty())
         validateWritable(statsJsonPath, "--stats-json");

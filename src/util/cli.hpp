@@ -9,9 +9,17 @@
  *   --stats-json <path>   write the stats registry as JSON on exit
  *   --stats               print the stats text table to stderr on exit
  *   --trace-json <path>   collect a Chrome trace_event timeline
+ *   --jobs <n>            worker threads for the parallel layers
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
+ *   OTFT_JOBS=n           same as --jobs
+ *
+ * --jobs must be a positive integer; 0, negative, or non-numeric
+ * values are fatal. Values above the hardware concurrency are clamped
+ * to it (with a warning). The resolved count is installed as the
+ * process-wide parallel::jobs() default; without the flag the default
+ * is the hardware concurrency.
  *
  * Flags take precedence over the environment. Output paths are
  * validated up front: an unwritable --stats-json/--trace-json target
@@ -66,10 +74,14 @@ class Session
     const std::string &statsJson() const { return statsJsonPath; }
     const std::string &traceJson() const { return traceJsonPath; }
 
+    /** The worker count installed into parallel::setJobs(). */
+    int jobs() const { return jobs_; }
+
   private:
     std::string name;
     bool footer;
     bool statsText = false;
+    int jobs_ = 0;
     std::string statsJsonPath;
     std::string traceJsonPath;
     std::vector<std::pair<std::string, double>> footerExtras;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <sstream>
 
@@ -164,6 +165,8 @@ namespace {
 struct Parser
 {
     std::istream &is;
+    /** Current container nesting depth (recursion guard). */
+    int depth = 0;
 
     void
     skipWs()
@@ -273,18 +276,56 @@ struct Parser
         }
     }
 
+    /**
+     * Strict JSON number grammar: -?int(.frac)?([eE][+-]?digits)?.
+     * Stream double extraction is looser (it takes "+5", hex floats,
+     * and the platform's inf/nan spellings), and JSON has none of
+     * those — notably no non-finite numbers.
+     */
+    Value
+    parseNumber()
+    {
+        std::string token;
+        if (is.peek() == '-')
+            token += static_cast<char>(is.get());
+        if (!std::isdigit(is.peek()))
+            fatal("json: bad number");
+        while (std::isdigit(is.peek()))
+            token += static_cast<char>(is.get());
+        if (is.peek() == '.') {
+            token += static_cast<char>(is.get());
+            if (!std::isdigit(is.peek()))
+                fatal("json: bad number (empty fraction)");
+            while (std::isdigit(is.peek()))
+                token += static_cast<char>(is.get());
+        }
+        if (is.peek() == 'e' || is.peek() == 'E') {
+            token += static_cast<char>(is.get());
+            if (is.peek() == '+' || is.peek() == '-')
+                token += static_cast<char>(is.get());
+            if (!std::isdigit(is.peek()))
+                fatal("json: bad number (empty exponent)");
+            while (std::isdigit(is.peek()))
+                token += static_cast<char>(is.get());
+        }
+        return Value::makeNumber(std::strtod(token.c_str(), nullptr));
+    }
+
     Value
     parseValue()
     {
         const int c = peek();
         if (c < 0)
             fatal("json: unexpected EOF");
+        if ((c == '{' || c == '[') && ++depth > maxDepth)
+            fatal("json: nesting deeper than ", maxDepth, " levels");
         switch (c) {
           case '{': {
             is.get();
             std::map<std::string, Value> members;
             if (peek() == '}') {
                 is.get();
+                --depth;
                 return Value::makeObject(std::move(members));
             }
             while (true) {
@@ -298,6 +339,7 @@ struct Parser
                 if (sep != ',')
                     fatal("json: expected ',' or '}' in object");
             }
+            --depth;
             return Value::makeObject(std::move(members));
           }
           case '[': {
@@ -305,6 +347,7 @@ struct Parser
             std::vector<Value> items;
             if (peek() == ']') {
                 is.get();
+                --depth;
                 return Value::makeArray(std::move(items));
             }
             while (true) {
@@ -316,6 +359,7 @@ struct Parser
                 if (sep != ',')
                     fatal("json: expected ',' or ']' in array");
             }
+            --depth;
             return Value::makeArray(std::move(items));
           }
           case '"':
@@ -330,11 +374,10 @@ struct Parser
             expectWord("null");
             return Value::makeNull();
           default: {
-            double v = 0.0;
-            if (!(is >> v))
+            if (c != '-' && !std::isdigit(c))
                 fatal("json: expected a value, got '",
                       std::string(1, static_cast<char>(c)), "'");
-            return Value::makeNumber(v);
+            return parseNumber();
           }
         }
     }

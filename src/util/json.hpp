@@ -20,6 +20,14 @@
 
 namespace otft::json {
 
+/**
+ * Maximum container nesting depth the parser accepts. The parser is
+ * recursive-descent, so unbounded nesting would overflow the stack on
+ * hostile input; this path guards the perf gate, which reads files an
+ * editor or script may have mangled. Fatal, not UB, past the cap.
+ */
+inline constexpr int maxDepth = 128;
+
 /** JSON value kinds. */
 enum class Kind { Null, Bool, Number, String, Array, Object };
 

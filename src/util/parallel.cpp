@@ -1,0 +1,340 @@
+#include "util/parallel.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace otft::parallel {
+
+namespace {
+
+std::atomic<int> g_jobs{0}; // 0 = not yet initialized
+
+thread_local bool t_inside_worker = false;
+
+/** One parallelFor invocation shared between caller and helpers. */
+struct Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    Chunking chunking = Chunking::Dynamic;
+    std::size_t grain = 1;
+    CancelToken *cancel = nullptr;
+
+    /** Static ranges, one per participant slot. */
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+
+    /** Shared cursor: next index (dynamic) or next range (static). */
+    std::atomic<std::size_t> cursor{0};
+    /** Participant slots still claimable (caller holds one). */
+    int maxParticipants = 1;
+    int participants = 1;
+    /** Set when a cancel token stopped the loop early. */
+    std::atomic<bool> cancelled{false};
+
+    /** Lowest-index exception wins (deterministic rethrow). */
+    std::mutex errMutex;
+    std::size_t errIndex = 0;
+    std::exception_ptr error;
+
+    /** Helper lifecycle (guarded by doneMutex). */
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    int activeHelpers = 0;
+
+    bool
+    hasWork() const
+    {
+        const std::size_t limit = chunking == Chunking::Static
+                                      ? ranges.size()
+                                      : n;
+        return cursor.load(std::memory_order_relaxed) < limit &&
+               !cancelled.load(std::memory_order_relaxed);
+    }
+};
+
+void
+recordError(Batch &batch, std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(batch.errMutex);
+    if (!batch.error || index < batch.errIndex) {
+        batch.error = std::current_exception();
+        batch.errIndex = index;
+    }
+}
+
+/**
+ * Execute indices of `batch` until the shared cursor is exhausted or
+ * the cancel token fires. Exceptions are recorded, not propagated:
+ * every index still runs, so the lowest throwing index is the same
+ * for every job count.
+ */
+void
+work(Batch &batch)
+{
+    while (true) {
+        if (batch.cancel && batch.cancel->cancelled()) {
+            batch.cancelled.store(true, std::memory_order_relaxed);
+            return;
+        }
+        std::size_t lo, hi;
+        if (batch.chunking == Chunking::Static) {
+            const std::size_t slot = batch.cursor.fetch_add(
+                1, std::memory_order_relaxed);
+            if (slot >= batch.ranges.size())
+                return;
+            lo = batch.ranges[slot].first;
+            hi = batch.ranges[slot].second;
+        } else {
+            lo = batch.cursor.fetch_add(batch.grain,
+                                        std::memory_order_relaxed);
+            if (lo >= batch.n)
+                return;
+            hi = std::min(lo + batch.grain, batch.n);
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+            try {
+                (*batch.fn)(i);
+            } catch (...) {
+                recordError(batch, i);
+            }
+        }
+    }
+}
+
+/** The process-wide worker pool (workers spawn lazily). */
+struct Pool
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::thread> threads;
+    std::deque<Batch *> queue;
+    bool stop = false;
+
+    ~Pool() { shutdown(); }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stop = true;
+        }
+        cv.notify_all();
+        for (std::thread &t : threads)
+            t.join();
+        threads.clear();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stop = false;
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        t_inside_worker = true;
+        while (true) {
+            Batch *batch = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] {
+                    if (stop)
+                        return true;
+                    for (Batch *b : queue)
+                        if (b->hasWork() &&
+                            b->participants < b->maxParticipants)
+                            return true;
+                    return false;
+                });
+                if (stop)
+                    return;
+                for (Batch *b : queue) {
+                    if (b->hasWork() &&
+                        b->participants < b->maxParticipants) {
+                        batch = b;
+                        break;
+                    }
+                }
+                if (!batch)
+                    continue;
+                ++batch->participants;
+                std::lock_guard<std::mutex> done(batch->doneMutex);
+                ++batch->activeHelpers;
+            }
+            work(*batch);
+            {
+                // Notify while still holding doneMutex: the moment
+                // the count hits zero with the mutex free, retire()
+                // may destroy the batch, so the cv must not be
+                // touched after the unlock.
+                std::lock_guard<std::mutex> done(batch->doneMutex);
+                --batch->activeHelpers;
+                batch->doneCv.notify_all();
+            }
+        }
+    }
+
+    /** Grow to at least `count` workers (holds the pool mutex). */
+    void
+    ensureWorkers(std::size_t count)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        while (threads.size() < count)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    submit(Batch &batch)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            queue.push_back(&batch);
+        }
+        cv.notify_all();
+    }
+
+    /**
+     * Unpublish the batch so no new helper can join, then drain the
+     * helpers already inside it. Must be called before the batch
+     * leaves the caller's stack frame.
+     */
+    void
+    retire(Batch &batch)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                if (*it == &batch) {
+                    queue.erase(it);
+                    break;
+                }
+            }
+        }
+        std::unique_lock<std::mutex> done(batch.doneMutex);
+        batch.doneCv.wait(done,
+                          [&] { return batch.activeHelpers == 0; });
+    }
+};
+
+Pool &
+pool()
+{
+    static Pool p;
+    return p;
+}
+
+/** Serial fall-back: in-order, fail-fast, cancel between indices. */
+bool
+serialFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+          CancelToken *cancel)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cancel && cancel->cancelled())
+            return false;
+        fn(i);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+setJobs(int n)
+{
+    if (n < 1)
+        fatal("parallel: job count must be >= 1, got ", n);
+    g_jobs.store(n, std::memory_order_relaxed);
+}
+
+int
+jobs()
+{
+    const int n = g_jobs.load(std::memory_order_relaxed);
+    return n > 0 ? n : hardwareJobs();
+}
+
+JobsOverride::JobsOverride(int n) : prev(jobs())
+{
+    setJobs(n);
+}
+
+JobsOverride::~JobsOverride()
+{
+    setJobs(prev);
+}
+
+bool
+insideWorker()
+{
+    return t_inside_worker;
+}
+
+void
+shutdownPool()
+{
+    pool().shutdown();
+}
+
+bool
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &fn,
+            const ForOptions &options)
+{
+    if (n == 0)
+        return true;
+    if (options.grain == 0)
+        fatal("parallel: grain must be >= 1");
+    int j = options.jobs != 0 ? options.jobs : jobs();
+    if (j < 1)
+        fatal("parallel: job count must be >= 1, got ", j);
+    if (static_cast<std::size_t>(j) > n)
+        j = static_cast<int>(n);
+
+    // Serial fast path: one job, one index, or already inside a pool
+    // worker (nested fan-out runs inline to avoid deadlock).
+    if (j == 1 || insideWorker())
+        return serialFor(n, fn, options.cancel);
+
+    Batch batch;
+    batch.n = n;
+    batch.fn = &fn;
+    batch.chunking = options.chunking;
+    batch.grain = options.grain;
+    batch.cancel = options.cancel;
+    batch.maxParticipants = j;
+    if (options.chunking == Chunking::Static) {
+        const std::size_t p = static_cast<std::size_t>(j);
+        const std::size_t base = n / p;
+        const std::size_t rem = n % p;
+        std::size_t lo = 0;
+        for (std::size_t s = 0; s < p; ++s) {
+            const std::size_t len = base + (s < rem ? 1 : 0);
+            batch.ranges.emplace_back(lo, lo + len);
+            lo += len;
+        }
+    }
+
+    Pool &shared = pool();
+    shared.ensureWorkers(static_cast<std::size_t>(j - 1));
+    shared.submit(batch);
+    work(batch);
+    shared.retire(batch);
+
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+    return !batch.cancelled.load(std::memory_order_relaxed);
+}
+
+} // namespace otft::parallel

@@ -21,6 +21,7 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
 void
 Histogram::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (v < lo_) {
         ++underflow_;
         return;
@@ -37,9 +38,31 @@ Histogram::sample(double v)
     ++bins_[idx];
 }
 
+std::vector<std::uint64_t>
+Histogram::binsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bins_;
+}
+
+std::uint64_t
+Histogram::underflow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return underflow_;
+}
+
+std::uint64_t
+Histogram::overflow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return overflow_;
+}
+
 std::uint64_t
 Histogram::totalSamples() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t total = underflow_ + overflow_;
     for (std::uint64_t b : bins_)
         total += b;
@@ -48,6 +71,13 @@ Histogram::totalSamples() const
 
 double
 Histogram::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return percentileLocked(p);
+}
+
+double
+Histogram::percentileLocked(double p) const
 {
     std::uint64_t n = 0;
     for (std::uint64_t b : bins_)
@@ -77,6 +107,7 @@ Histogram::percentile(double p) const
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::fill(bins_.begin(), bins_.end(), 0);
     underflow_ = 0;
     overflow_ = 0;
@@ -129,6 +160,7 @@ Registry::findOrCreate(const std::string &name, NodeKind kind,
 {
     if (name.empty())
         fatal("stats: node name must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = nodes.find(name);
     if (it == nodes.end())
         it = nodes.emplace(name, std::make_unique<Node>(kind)).first;
@@ -183,6 +215,13 @@ scalarOf(const Registry::Node *node);
 double
 Registry::rateValue(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rateValueLocked(name);
+}
+
+double
+Registry::rateValueLocked(const std::string &name) const
+{
     auto it = nodes.find(name);
     if (it == nodes.end() || it->second->kind != NodeKind::Rate)
         return 0.0;
@@ -200,12 +239,14 @@ Registry::rateValue(const std::string &name) const
 bool
 Registry::has(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return nodes.find(name) != nodes.end();
 }
 
 std::map<std::string, std::uint64_t>
 Registry::counterSnapshot() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::map<std::string, std::uint64_t> values;
     for (const auto &[name, node] : nodes)
         if (node->kind == NodeKind::Counter)
@@ -216,6 +257,7 @@ Registry::counterSnapshot() const
 void
 Registry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, node] : nodes) {
         node->counter.reset();
         node->accumulator.reset();
@@ -279,6 +321,7 @@ jsonNumber(double v)
 void
 Registry::dumpText(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Table table({"stat", "value", "description"});
     for (const auto &[name, node] : nodes) {
         if (nodeIsEmpty(*node))
@@ -299,9 +342,10 @@ Registry::dumpText(std::ostream &os) const
           }
           case NodeKind::Histogram: {
             const Histogram &h = *node->histogram;
+            const auto bins = h.binsSnapshot();
             value << "n=" << h.totalSamples() << " [";
-            for (std::size_t i = 0; i < h.bins().size(); ++i)
-                value << (i ? " " : "") << h.bins()[i];
+            for (std::size_t i = 0; i < bins.size(); ++i)
+                value << (i ? " " : "") << bins[i];
             value << "] under=" << h.underflow()
                   << " over=" << h.overflow()
                   << " p50=" << formatNumber(h.p50())
@@ -309,7 +353,7 @@ Registry::dumpText(std::ostream &os) const
             break;
           }
           case NodeKind::Rate:
-            value << formatNumber(rateValue(name));
+            value << formatNumber(rateValueLocked(name));
             break;
         }
         table.row().add(name).add(value.str()).add(node->desc);
@@ -320,6 +364,7 @@ Registry::dumpText(std::ostream &os) const
 void
 Registry::dumpJson(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     os << "{\n";
     bool first = true;
     for (const auto &[name, node] : nodes) {
@@ -342,6 +387,7 @@ Registry::dumpJson(std::ostream &os) const
           }
           case NodeKind::Histogram: {
             const Histogram &h = *node->histogram;
+            const auto bins = h.binsSnapshot();
             os << "{\"lo\": " << jsonNumber(h.lo())
                << ", \"hi\": " << jsonNumber(h.hi())
                << ", \"underflow\": " << h.underflow()
@@ -349,13 +395,13 @@ Registry::dumpJson(std::ostream &os) const
                << ", \"p50\": " << jsonNumber(h.p50())
                << ", \"p95\": " << jsonNumber(h.p95())
                << ", \"bins\": [";
-            for (std::size_t i = 0; i < h.bins().size(); ++i)
-                os << (i ? ", " : "") << h.bins()[i];
+            for (std::size_t i = 0; i < bins.size(); ++i)
+                os << (i ? ", " : "") << bins[i];
             os << "]}";
             break;
           }
           case NodeKind::Rate:
-            os << jsonNumber(rateValue(name));
+            os << jsonNumber(rateValueLocked(name));
             break;
         }
     }

@@ -17,38 +17,55 @@
  *
  * Values survive across runs within a process; reset() zeroes every
  * node (registrations persist) so tests and repeated sweeps start
- * clean. Updates are not synchronized: the framework is
- * single-threaded and future parallel layers must shard or lock.
+ * clean.
+ *
+ * Concurrency: the registry is safe to update from the util/parallel
+ * worker pool. Counters are lock-free atomics (totals are exact under
+ * contention); accumulators and histograms take a per-node mutex per
+ * sample; the name map itself is guarded so concurrent first-use
+ * registration is safe. Reads taken while writers are active see a
+ * consistent per-node snapshot but no cross-node atomicity — dump
+ * after joining workers for exact totals.
  */
 
 #ifndef OTFT_UTIL_STATS_REGISTRY_HPP
 #define OTFT_UTIL_STATS_REGISTRY_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace otft::stats {
 
-/** Monotonically increasing scalar count. */
+/** Monotonically increasing scalar count (lock-free, exact). */
 class Counter
 {
   public:
-    void operator+=(std::uint64_t n) { value_ += n; }
+    void
+    operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
     Counter &operator++()
     {
-        ++value_;
+        value_.fetch_add(1, std::memory_order_relaxed);
         return *this;
     }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** Running count/sum/min/max over sampled values (e.g. seconds). */
@@ -58,6 +75,7 @@ class Accumulator
     void
     sample(double v)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         if (count_ == 0) {
             min_ = v;
             max_ = v;
@@ -71,31 +89,59 @@ class Accumulator
         sum_ += v;
     }
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_;
+    }
+    double
+    sum() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sum_;
+    }
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_ ? min_ : 0.0;
+    }
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return count_ ? max_ : 0.0;
+    }
     double
     mean() const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     }
 
     void
     reset()
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         count_ = 0;
         sum_ = min_ = max_ = 0.0;
     }
 
   private:
+    mutable std::mutex mutex_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
 };
 
-/** Linear fixed-bin histogram over [lo, hi) with under/overflow. */
+/**
+ * Linear fixed-bin histogram over [lo, hi) with under/overflow.
+ * sample() and the aggregate readers lock a per-histogram mutex;
+ * bins() returns a reference to live storage, so read it only after
+ * concurrent samplers have joined (or take binsSnapshot()).
+ */
 class Histogram
 {
   public:
@@ -106,8 +152,10 @@ class Histogram
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     const std::vector<std::uint64_t> &bins() const { return bins_; }
-    std::uint64_t underflow() const { return underflow_; }
-    std::uint64_t overflow() const { return overflow_; }
+    /** Copy of the bin counts, consistent under concurrent sampling. */
+    std::vector<std::uint64_t> binsSnapshot() const;
+    std::uint64_t underflow() const;
+    std::uint64_t overflow() const;
     std::uint64_t totalSamples() const;
 
     /**
@@ -125,6 +173,9 @@ class Histogram
     void reset();
 
   private:
+    double percentileLocked(double p) const;
+
+    mutable std::mutex mutex_;
     double lo_;
     double hi_;
     std::vector<std::uint64_t> bins_;
@@ -187,8 +238,16 @@ class Registry
      * their clock reads entirely; plain counter increments at call
      * sites are not gated (they cost a single add).
      */
-    void setEnabled(bool enabled) { enabled_ = enabled; }
-    bool enabled() const { return enabled_; }
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /** Render a sorted text table of every non-empty node. */
     void dumpText(std::ostream &os) const;
@@ -197,7 +256,12 @@ class Registry
     void dumpJson(std::ostream &os) const;
 
     /** Number of registered nodes. */
-    std::size_t size() const { return nodes.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return nodes.size();
+    }
 
   private:
     Registry() = default;
@@ -205,8 +269,15 @@ class Registry
     Node &findOrCreate(const std::string &name, NodeKind kind,
                        const std::string &desc);
 
+    double rateValueLocked(const std::string &name) const;
+
+    /**
+     * Guards the name map (not node values: nodes are heap-allocated,
+     * never move, and synchronize themselves).
+     */
+    mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Node>> nodes;
-    bool enabled_ = true;
+    std::atomic<bool> enabled_{true};
 };
 
 /** Shorthand for Registry::instance() accessors. */

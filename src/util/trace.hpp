@@ -17,6 +17,12 @@
  * children, exactly as in the Chrome timeline view. When the stats
  * registry is disabled and no timeline collection is active, spans
  * skip their clock reads entirely and have no side effects.
+ *
+ * Concurrency: spans may close on any thread. Each thread buffers its
+ * events privately (registered with the collector on first use) and
+ * stop() merges every buffer into one Chrome stream, tagging events
+ * with a per-thread tid. start()/stop() themselves should be called
+ * from one thread, conventionally the cli::Session owner.
  */
 
 #ifndef OTFT_UTIL_TRACE_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end determinism of the parallel layer: the NLDM
+ * characterization and the explorer design-space sweep must produce
+ * byte-identical dumps at --jobs 1 and --jobs 8. Every double is
+ * printed with %.17g (round-trip exact), so any reordering of
+ * floating-point operations or cross-task contamination flips bytes
+ * and fails the comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "arch/config.hpp"
+#include "core/explorer.hpp"
+#include "liberty/characterizer.hpp"
+#include "liberty/silicon.hpp"
+#include "util/parallel.hpp"
+
+namespace otft {
+namespace {
+
+void
+append(std::string &out, const char *label, double v)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s=%.17g\n", label, v);
+    out += buffer;
+}
+
+void
+append(std::string &out, const char *label,
+       const std::vector<double> &values)
+{
+    out += label;
+    char buffer[40];
+    for (double v : values) {
+        std::snprintf(buffer, sizeof(buffer), " %.17g", v);
+        out += buffer;
+    }
+    out += "\n";
+}
+
+/** Full-precision text dump of one characterized cell. */
+std::string
+dumpCell(const liberty::StdCell &cell)
+{
+    std::string out = "cell " + cell.name + "\n";
+    append(out, "area", cell.area);
+    append(out, "leakage", cell.leakage);
+    append(out, "inputCap", cell.inputCap);
+    for (const auto &arc : cell.arcs) {
+        out += "arc " + arc.fromPin + "\n";
+        for (int sense = 0; sense < 2; ++sense) {
+            append(out, "delay.slews", arc.delay[sense].slewAxis());
+            append(out, "delay.loads", arc.delay[sense].loadAxis());
+            append(out, "delay.values", arc.delay[sense].values());
+            append(out, "slew.values",
+                   arc.outputSlew[sense].values());
+        }
+    }
+    return out;
+}
+
+/** Full-precision text dump of one evaluated design point. */
+std::string
+dumpPoint(const core::DesignPoint &point)
+{
+    std::string out;
+    out += "point fe=" + std::to_string(point.config.fetchWidth) +
+           " alu=" + std::to_string(point.config.aluPipes) + "\n";
+    append(out, "frequency", point.timing.frequency);
+    append(out, "area", point.timing.area);
+    append(out, "ipc", point.ipc);
+    append(out, "meanIpc", point.meanIpc);
+    append(out, "performance", point.performance);
+    return out;
+}
+
+TEST(ParallelDeterminism, NldmCharacterizationByteIdentical)
+{
+    // The 2x2 grid keeps the transient budget small; the parallel
+    // fan-out (one task per grid point and cell arc) is exercised all
+    // the same.
+    liberty::CharacterizerConfig mini;
+    mini.slewAxis = {4e-6, 64e-6};
+    mini.loadMultipliers = {0.5, 6.0};
+
+    const auto characterize = [&mini](int jobs_count) {
+        parallel::JobsOverride pin(jobs_count);
+        liberty::Characterizer chr(cells::CellFactory{}, mini);
+        return dumpCell(chr.characterizeCombinational("nand2")) +
+               dumpCell(chr.characterizeCombinational("inv"));
+    };
+
+    const std::string serial = characterize(1);
+    const std::string parallel8 = characterize(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel8);
+}
+
+TEST(ParallelDeterminism, ExplorerSweepByteIdentical)
+{
+    const liberty::CellLibrary silicon =
+        liberty::makeSiliconLibrary();
+
+    const auto sweep = [&silicon](int jobs_count) {
+        parallel::JobsOverride pin(jobs_count);
+        core::ExplorerConfig config;
+        config.instructions = 2000;
+        core::ArchExplorer explorer(silicon, config);
+        const auto grid = explorer.widthSweep(1, 2, 3, 4);
+        std::string out;
+        for (const auto &row : grid.points)
+            for (const auto &point : row)
+                out += dumpPoint(point);
+        return out;
+    };
+
+    const std::string serial = sweep(1);
+    const std::string parallel8 = sweep(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel8);
+}
+
+TEST(ParallelDeterminism, IpcFanOutByteIdentical)
+{
+    const liberty::CellLibrary silicon =
+        liberty::makeSiliconLibrary();
+
+    const auto measure = [&silicon](int jobs_count) {
+        parallel::JobsOverride pin(jobs_count);
+        core::ExplorerConfig config;
+        config.instructions = 5000;
+        core::ArchExplorer explorer(silicon, config);
+        std::string out;
+        append(out, "ipc",
+               explorer.measureIpc(arch::baselineConfig()));
+        return out;
+    };
+
+    EXPECT_EQ(measure(1), measure(8));
+}
+
+} // namespace
+} // namespace otft

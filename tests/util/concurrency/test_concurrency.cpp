@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Concurrency stress harness for the instrumentation subsystem and
+ * the parallel layer. Every test hammers one shared structure from
+ * many threads and then asserts *exact* totals — races that drop or
+ * double-count updates fail the assertion, and the data races
+ * themselves are caught when this binary runs under ThreadSanitizer
+ * (scripts/verify.sh --tsan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
+
+namespace otft {
+namespace {
+
+constexpr int kThreads = 8;
+
+/** Run fn(t) on kThreads plain std::threads and join them all. */
+void
+onThreads(const std::function<void(int)> &fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&fn, t] { fn(t); });
+    for (auto &thread : threads)
+        thread.join();
+}
+
+TEST(ConcurrencyStress, CounterTotalExactUnderContention)
+{
+    stats::Counter &counter = stats::counter(
+        "test.concurrency.counter", "stress counter");
+    counter.reset();
+
+    constexpr std::uint64_t per_thread = 100000;
+    onThreads([&](int) {
+        for (std::uint64_t i = 0; i < per_thread; ++i)
+            ++counter;
+    });
+
+    EXPECT_EQ(counter.value(), kThreads * per_thread);
+}
+
+TEST(ConcurrencyStress, CounterAddTotalExact)
+{
+    stats::Counter &counter = stats::counter(
+        "test.concurrency.counter_add", "stress counter (+=)");
+    counter.reset();
+
+    constexpr std::uint64_t per_thread = 50000;
+    onThreads([&](int) {
+        for (std::uint64_t i = 0; i < per_thread; ++i)
+            counter += 3;
+    });
+
+    EXPECT_EQ(counter.value(), kThreads * per_thread * 3);
+}
+
+TEST(ConcurrencyStress, AccumulatorMomentsExact)
+{
+    stats::Accumulator &acc = stats::accumulator(
+        "test.concurrency.accumulator", "stress accumulator");
+    acc.reset();
+
+    constexpr int per_thread = 20000;
+    onThreads([&](int) {
+        for (int i = 0; i < per_thread; ++i)
+            acc.sample(2.0);
+    });
+
+    const auto total =
+        static_cast<std::uint64_t>(kThreads) * per_thread;
+    EXPECT_EQ(acc.count(), total);
+    // Every sample is the same value, so sum/min/max/mean are exact
+    // in floating point — any torn or lost update shows up here.
+    EXPECT_EQ(acc.sum(), 2.0 * static_cast<double>(total));
+    EXPECT_EQ(acc.min(), 2.0);
+    EXPECT_EQ(acc.max(), 2.0);
+    EXPECT_EQ(acc.mean(), 2.0);
+}
+
+TEST(ConcurrencyStress, HistogramSampleCountExact)
+{
+    stats::Histogram &hist = stats::histogram(
+        "test.concurrency.histogram", 0.0, 10.0, 10,
+        "stress histogram");
+    hist.reset();
+
+    constexpr int per_thread = 20000;
+    onThreads([&](int t) {
+        for (int i = 0; i < per_thread; ++i)
+            hist.sample(static_cast<double>(t) + 0.5);
+    });
+
+    const auto total =
+        static_cast<std::uint64_t>(kThreads) * per_thread;
+    EXPECT_EQ(hist.totalSamples(), total);
+    std::uint64_t binned = hist.underflow() + hist.overflow();
+    for (std::uint64_t count : hist.binsSnapshot())
+        binned += count;
+    EXPECT_EQ(binned, total);
+    // Each thread hits its own bin with an exact per-thread count.
+    const auto bins = hist.binsSnapshot();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(bins[static_cast<std::size_t>(t)],
+                  static_cast<std::uint64_t>(per_thread))
+            << "bin " << t;
+}
+
+TEST(ConcurrencyStress, RegistryFindOrCreateRacesYieldOneNode)
+{
+    stats::Registry &registry = stats::Registry::instance();
+    std::vector<stats::Counter *> seen(kThreads, nullptr);
+    onThreads([&](int t) {
+        // All threads race to create the same name; the registry must
+        // hand every thread the same node.
+        stats::Counter &c = stats::counter(
+            "test.concurrency.race_node", "created by whoever wins");
+        seen[static_cast<std::size_t>(t)] = &c;
+        ++c;
+    });
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+    EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+    EXPECT_TRUE(registry.has("test.concurrency.race_node"));
+}
+
+TEST(ConcurrencyStress, DumpWhileWritingStaysValidJson)
+{
+    stats::Counter &counter = stats::counter(
+        "test.concurrency.dump_target", "incremented during dumps");
+    counter.reset();
+
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        while (!done.load(std::memory_order_relaxed))
+            ++counter;
+    });
+    // Wait for the writer to be mid-stream before dumping (on a
+    // single-core box it may not be scheduled immediately).
+    while (counter.value() == 0)
+        std::this_thread::yield();
+
+    // Dumps taken mid-write must each be a complete, parseable
+    // document: the registry snapshots under its lock.
+    for (int rep = 0; rep < 50; ++rep) {
+        std::ostringstream os;
+        stats::Registry::instance().dumpJson(os);
+        const json::Value doc = json::parse(os.str());
+        EXPECT_TRUE(doc.isObject());
+    }
+    done = true;
+    writer.join();
+    EXPECT_GT(counter.value(), 0u);
+}
+
+TEST(ConcurrencyStress, ConcurrentSpansMergeIntoValidTimeline)
+{
+    const std::string path = "test_concurrency_trace.json";
+    trace::start(path);
+
+    constexpr int spans_per_thread = 200;
+    onThreads([&](int) {
+        for (int i = 0; i < spans_per_thread; ++i) {
+            OTFT_TRACE_SCOPE("test.concurrency.span");
+        }
+    });
+
+    // Plus one span from the main thread so its tid shows up too.
+    {
+        OTFT_TRACE_SCOPE("test.concurrency.main_span");
+    }
+    trace::stop();
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    const json::Value doc = json::parse(is);
+    ASSERT_TRUE(doc.isArray());
+    const auto &events = doc.asArray();
+    EXPECT_EQ(events.size(),
+              static_cast<std::size_t>(kThreads * spans_per_thread) +
+                  1);
+
+    // Every event is a complete record; the emitting threads keep
+    // distinct tids; timestamps are merged in nondecreasing order.
+    std::set<double> tids;
+    double prev_ts = -1e300;
+    for (const auto &event : events) {
+        EXPECT_EQ(event.string("ph"), "X");
+        EXPECT_GE(event.number("dur", -1.0), 0.0);
+        tids.insert(event.number("tid"));
+        EXPECT_GE(event.number("ts"), prev_ts);
+        prev_ts = event.number("ts");
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads) + 1);
+    std::remove(path.c_str());
+}
+
+TEST(ConcurrencyStress, ParallelForFromManyThreadsAtOnce)
+{
+    parallel::JobsOverride pin(4);
+    constexpr int loops = 8;
+    constexpr std::size_t n = 2000;
+    std::vector<std::atomic<std::uint64_t>> totals(kThreads);
+    // Several threads submit batches to the shared pool concurrently;
+    // each must see exactly its own n indices.
+    onThreads([&](int t) {
+        for (int rep = 0; rep < loops; ++rep)
+            parallel::parallelFor(n, [&, t](std::size_t) {
+                totals[static_cast<std::size_t>(t)].fetch_add(
+                    1, std::memory_order_relaxed);
+            });
+    });
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(totals[static_cast<std::size_t>(t)].load(),
+                  static_cast<std::uint64_t>(loops) * n)
+            << "submitter " << t;
+}
+
+TEST(ConcurrencyStress, ScopedTimersAggregateExactCounts)
+{
+    stats::Accumulator &acc = stats::accumulator(
+        "time.test.concurrency.timed", "stress span accumulator");
+    acc.reset();
+
+    constexpr int per_thread = 500;
+    onThreads([&](int) {
+        for (int i = 0; i < per_thread; ++i) {
+            OTFT_TRACE_SCOPE("test.concurrency.timed");
+        }
+    });
+
+    EXPECT_EQ(acc.count(), static_cast<std::uint64_t>(kThreads) *
+                               per_thread);
+    EXPECT_GE(acc.min(), 0.0);
+}
+
+} // namespace
+} // namespace otft

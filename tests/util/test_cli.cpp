@@ -13,6 +13,7 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/perf_report.hpp"
 
 namespace otft::cli {
@@ -51,6 +52,7 @@ class CleanEnv : public ::testing::Test
         unsetenv("OTFT_STATS");
         unsetenv("OTFT_STATS_JSON");
         unsetenv("OTFT_TRACE_JSON");
+        unsetenv("OTFT_JOBS");
     }
 
     void
@@ -59,6 +61,7 @@ class CleanEnv : public ::testing::Test
         unsetenv("OTFT_STATS");
         unsetenv("OTFT_STATS_JSON");
         unsetenv("OTFT_TRACE_JSON");
+        unsetenv("OTFT_JOBS");
         setQuiet(false);
     }
 
@@ -167,6 +170,77 @@ TEST_F(CliSession, FooterIsCanonicalParseableJson)
     ASSERT_EQ(ingested.size(), 1u);
     EXPECT_EQ(ingested[0].name, "bench.footer_test");
     EXPECT_DOUBLE_EQ(ingested[0].counters.at("f_max_hz"), 210.25);
+}
+
+TEST_F(CliSession, JobsFlagParsedConsumedAndInstalled)
+{
+    Args args({"prog", "--jobs", "1", "positional"});
+    {
+        Session session("test", args.argc(), args.argv());
+        EXPECT_EQ(session.jobs(), 1);
+        // The resolved count is installed process-wide.
+        EXPECT_EQ(parallel::jobs(), 1);
+    }
+    ASSERT_EQ(args.argc(), 2);
+    EXPECT_STREQ(args.at(0), "prog");
+    EXPECT_STREQ(args.at(1), "positional");
+}
+
+TEST_F(CliSession, JobsDefaultsToHardwareConcurrency)
+{
+    Args args({"prog"});
+    Session session("test", args.argc(), args.argv());
+    EXPECT_EQ(session.jobs(), parallel::hardwareJobs());
+}
+
+TEST_F(CliSession, JobsAboveHardwareIsClampedNotFatal)
+{
+    Args args({"prog", "--jobs", "1000000"});
+    Session session("test", args.argc(), args.argv());
+    EXPECT_EQ(session.jobs(), parallel::hardwareJobs());
+}
+
+TEST_F(CliSession, JobsRejectsZeroNegativeAndGarbage)
+{
+    for (const char *bad : {"0", "-1", "-8", "abc", "3x", "", "2.5"}) {
+        Args args({"prog", "--jobs", bad});
+        EXPECT_THROW(Session("test", args.argc(), args.argv()),
+                     FatalError)
+            << "--jobs " << bad;
+    }
+}
+
+TEST_F(CliSession, JobsMissingValueIsFatal)
+{
+    Args args({"prog", "--jobs"});
+    EXPECT_THROW(Session("test", args.argc(), args.argv()),
+                 FatalError);
+}
+
+TEST_F(CliSession, JobsEnvironmentFallback)
+{
+    setenv("OTFT_JOBS", "1", 1);
+    Args args({"prog"});
+    Session session("test", args.argc(), args.argv());
+    EXPECT_EQ(session.jobs(), 1);
+}
+
+TEST_F(CliSession, JobsEnvironmentValueIsValidatedToo)
+{
+    setenv("OTFT_JOBS", "0", 1);
+    Args args({"prog"});
+    EXPECT_THROW(Session("test", args.argc(), args.argv()),
+                 FatalError);
+}
+
+TEST_F(CliSession, JobsFlagBeatsEnvironment)
+{
+    // The env value is invalid; with the flag present it must never
+    // even be parsed.
+    setenv("OTFT_JOBS", "not-a-number", 1);
+    Args args({"prog", "--jobs", "1"});
+    Session session("test", args.argc(), args.argv());
+    EXPECT_EQ(session.jobs(), 1);
 }
 
 TEST_F(CliSession, StatsJsonIsWrittenOnExit)

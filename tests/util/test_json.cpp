@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace otft::json {
 namespace {
@@ -85,6 +87,159 @@ TEST(Json, StreamOverloadSupportsNdjson)
     const Value second = parse(is);
     EXPECT_DOUBLE_EQ(first.number("a"), 1.0);
     EXPECT_DOUBLE_EQ(second.number("a"), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Property / fuzz coverage: hostile input must always end in a clean
+// FatalError, never a crash, hang, or silently wrong value.
+// ---------------------------------------------------------------------
+
+TEST(JsonFuzz, NanAndInfinityLiteralsAreRejected)
+{
+    // JSON has no non-finite numbers; none of the spellings common in
+    // other serializers may sneak through the stream extraction.
+    for (const char *text :
+         {"NaN", "nan", "-NaN", "Infinity", "-Infinity", "inf",
+          "-inf", "1e", "0x10", "+5"}) {
+        EXPECT_THROW(parse(text), FatalError) << "input: " << text;
+    }
+}
+
+TEST(JsonFuzz, MalformedDocumentsAreFatal)
+{
+    for (const char *text :
+         {"{", "}", "[", "]", "{\"a\"}", "{\"a\":}", "{\"a\":1,}",
+          "{\"a\" 1}", "{a: 1}", "[1,]", "[,1]", "[1 2]", "nul",
+          "truth", "falsy", "\"open", "\"bad \\q escape\"",
+          "\"bad \\u12g4 escape\"", "{\"a\": 1} extra", ",", ":",
+          "--1", "1..2", "."}) {
+        EXPECT_THROW(parse(text), FatalError) << "input: " << text;
+    }
+}
+
+TEST(JsonFuzz, NestingAtTheCapParsesAndBeyondIsFatal)
+{
+    const auto nested = [](int levels) {
+        std::string text;
+        for (int i = 0; i < levels; ++i)
+            text += '[';
+        for (int i = 0; i < levels; ++i)
+            text += ']';
+        return text;
+    };
+
+    const Value at_cap = parse(nested(maxDepth));
+    EXPECT_TRUE(at_cap.isArray());
+    // One past the cap fails cleanly instead of overflowing the
+    // parser's recursion.
+    EXPECT_THROW(parse(nested(maxDepth + 1)), FatalError);
+    EXPECT_THROW(parse(nested(maxDepth * 40)), FatalError);
+
+    // Mixed object/array nesting counts against the same cap.
+    std::string mixed;
+    for (int i = 0; i < maxDepth; ++i)
+        mixed += "{\"k\":[";
+    EXPECT_THROW(parse(mixed), FatalError);
+}
+
+TEST(JsonFuzz, EveryTruncationOfAValidDocumentIsFatal)
+{
+    const std::string doc =
+        "{\"name\": \"x\", \"vals\": [1.5, -2e-3, true, null], "
+        "\"sub\": {\"deep\": [[\"s\"]]}}";
+    ASSERT_NO_THROW(parse(doc));
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+        EXPECT_THROW(parse(doc.substr(0, len)), FatalError)
+            << "prefix length " << len;
+    }
+}
+
+/** Random JSON document text, bounded to `depth` container levels. */
+std::string
+randomDocument(Rng &rng, int depth)
+{
+    switch (depth > 0 ? rng.uniformInt(6) : rng.uniformInt(4)) {
+      case 0:
+        return "null";
+      case 1:
+        return rng.uniformInt(2) ? "true" : "false";
+      case 2: {
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "%.17g",
+                      rng.uniform(-1e6, 1e6));
+        return buffer;
+      }
+      case 3: {
+        std::string raw;
+        const std::uint64_t len = rng.uniformInt(8);
+        for (std::uint64_t i = 0; i < len; ++i)
+            raw.push_back(
+                static_cast<char>(rng.uniformInt(95) + 32));
+        return "\"" + escape(raw) + "\"";
+      }
+      case 4: {
+        std::string out = "[";
+        const std::uint64_t n = rng.uniformInt(4);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i)
+                out += ",";
+            out += randomDocument(rng, depth - 1);
+        }
+        return out + "]";
+      }
+      default: {
+        std::string out = "{";
+        const std::uint64_t n = rng.uniformInt(4);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (i)
+                out += ",";
+            out += "\"k" + std::to_string(i) + "\":";
+            out += randomDocument(rng, depth - 1);
+        }
+        return out + "}";
+    }
+    }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTripAndMutantsNeverCrash)
+{
+    Rng rng(20260806);
+    int parsed = 0;
+    int rejected = 0;
+    for (int rep = 0; rep < 300; ++rep) {
+        const std::string doc = randomDocument(rng, 4);
+        // The generator only emits valid JSON.
+        ASSERT_NO_THROW(parse(doc)) << doc;
+
+        // Mutants must parse or fail cleanly — nothing else.
+        std::string mutant = doc;
+        const std::uint64_t edits = 1 + rng.uniformInt(3);
+        for (std::uint64_t e = 0; e < edits && !mutant.empty(); ++e) {
+            const auto pos = static_cast<std::size_t>(
+                rng.uniformInt(mutant.size()));
+            switch (rng.uniformInt(3)) {
+              case 0: // flip a byte to a random printable char
+                mutant[pos] =
+                    static_cast<char>(rng.uniformInt(95) + 32);
+                break;
+              case 1: // delete a byte
+                mutant.erase(pos, 1);
+                break;
+              default: // truncate
+                mutant.resize(pos);
+                break;
+            }
+        }
+        try {
+            (void)parse(mutant);
+            ++parsed;
+        } catch (const FatalError &) {
+            ++rejected;
+        }
+    }
+    // Sanity on the corpus itself: mutation produced both outcomes.
+    EXPECT_GT(parsed, 0);
+    EXPECT_GT(rejected, 0);
 }
 
 } // namespace

@@ -1,0 +1,251 @@
+/** @file Unit tests for util/parallel. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+
+namespace otft {
+namespace {
+
+TEST(Parallel, HardwareJobsIsPositive)
+{
+    EXPECT_GE(parallel::hardwareJobs(), 1);
+}
+
+TEST(Parallel, SetJobsRoundTripsAndOverrideRestores)
+{
+    const int before = parallel::jobs();
+    {
+        parallel::JobsOverride pin(3);
+        EXPECT_EQ(parallel::jobs(), 3);
+        {
+            parallel::JobsOverride nested(5);
+            EXPECT_EQ(parallel::jobs(), 5);
+        }
+        EXPECT_EQ(parallel::jobs(), 3);
+    }
+    EXPECT_EQ(parallel::jobs(), before);
+}
+
+TEST(Parallel, SetJobsRejectsZeroAndNegative)
+{
+    EXPECT_THROW(parallel::setJobs(0), FatalError);
+    EXPECT_THROW(parallel::setJobs(-4), FatalError);
+}
+
+TEST(Parallel, DynamicChunkingRunsEveryIndexOnce)
+{
+    parallel::JobsOverride pin(8);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    const bool completed = parallel::parallelFor(
+        n, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_TRUE(completed);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, StaticChunkingRunsEveryIndexOnce)
+{
+    parallel::JobsOverride pin(8);
+    constexpr std::size_t n = 997; // prime: uneven static ranges
+    std::vector<std::atomic<int>> hits(n);
+    parallel::ForOptions options;
+    options.chunking = parallel::Chunking::Static;
+    const bool completed = parallel::parallelFor(
+        n, [&](std::size_t i) { ++hits[i]; }, options);
+    EXPECT_TRUE(completed);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, CoarseGrainRunsEveryIndexOnce)
+{
+    parallel::JobsOverride pin(4);
+    constexpr std::size_t n = 103;
+    std::vector<std::atomic<int>> hits(n);
+    parallel::ForOptions options;
+    options.grain = 7; // does not divide n
+    EXPECT_TRUE(parallel::parallelFor(
+        n, [&](std::size_t i) { ++hits[i]; }, options));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, EmptyRangeCompletesWithoutCallingFn)
+{
+    parallel::JobsOverride pin(8);
+    bool called = false;
+    EXPECT_TRUE(
+        parallel::parallelFor(0, [&](std::size_t) { called = true; }));
+    EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleJobRunsInlineOnCaller)
+{
+    parallel::JobsOverride pin(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(16);
+    parallel::parallelFor(ran.size(), [&](std::size_t i) {
+        ran[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(Parallel, InsideWorkerOnlyTrueOnPoolThreads)
+{
+    EXPECT_FALSE(parallel::insideWorker());
+    parallel::JobsOverride pin(4);
+    std::atomic<int> inside{0};
+    std::atomic<int> outside{0};
+    parallel::parallelFor(64, [&](std::size_t) {
+        if (parallel::insideWorker())
+            ++inside;
+        else
+            ++outside;
+    });
+    // The calling thread helps drain its own batch, so both kinds of
+    // thread may appear; together they cover every index.
+    EXPECT_EQ(inside.load() + outside.load(), 64);
+    EXPECT_FALSE(parallel::insideWorker());
+}
+
+TEST(Parallel, NestedParallelForRunsInlineAndCompletely)
+{
+    parallel::JobsOverride pin(4);
+    constexpr std::size_t outer_n = 8;
+    constexpr std::size_t inner_n = 32;
+    std::atomic<std::uint64_t> total{0};
+    parallel::parallelFor(outer_n, [&](std::size_t) {
+        const auto worker = std::this_thread::get_id();
+        parallel::parallelFor(inner_n, [&](std::size_t) {
+            // Inner loops never hop threads: a fan-out from inside a
+            // worker would deadlock a single-slot pool.
+            EXPECT_EQ(std::this_thread::get_id(), worker);
+            ++total;
+        });
+    });
+    EXPECT_EQ(total.load(), outer_n * inner_n);
+}
+
+TEST(Parallel, CancellationSkipsRemainingIndices)
+{
+    parallel::JobsOverride pin(2);
+    parallel::CancelToken token;
+    std::atomic<std::size_t> ran{0};
+    parallel::ForOptions options;
+    options.cancel = &token;
+    const bool completed = parallel::parallelFor(
+        100000,
+        [&](std::size_t) {
+            ++ran;
+            token.cancel();
+        },
+        options);
+    EXPECT_FALSE(completed);
+    EXPECT_GE(ran.load(), 1u);
+    EXPECT_LT(ran.load(), 100000u);
+}
+
+TEST(Parallel, LowestThrowingIndexWinsDeterministically)
+{
+    parallel::JobsOverride pin(8);
+    for (int rep = 0; rep < 20; ++rep) {
+        std::atomic<std::size_t> ran{0};
+        try {
+            parallel::parallelFor(64, [&](std::size_t i) {
+                ++ran;
+                if (i == 9 || i == 41 || i == 63)
+                    throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "expected the task exception to propagate";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "9");
+        }
+        // Exceptions abandon nothing: every index still runs, so the
+        // surviving slots (and the winning exception) are the same at
+        // any job count.
+        EXPECT_EQ(ran.load(), 64u);
+    }
+}
+
+TEST(Parallel, OrderedMapFillsSlotsByIndex)
+{
+    parallel::JobsOverride pin(8);
+    const auto squares = parallel::orderedMap<std::size_t>(
+        200, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 200u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Parallel, OrderedMapBitIdenticalAcrossJobCounts)
+{
+    const auto run = [](int jobs_count) {
+        parallel::JobsOverride pin(jobs_count);
+        return parallel::orderedMap<double>(512, [](std::size_t i) {
+            const double x = static_cast<double>(i);
+            return std::sin(x) * std::sqrt(x + 1.0) / (x + 0.5);
+        });
+    };
+    const auto serial = run(1);
+    const auto parallel8 = run(8);
+    ASSERT_EQ(serial.size(), parallel8.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Bitwise, not approximate: the determinism contract.
+        EXPECT_EQ(serial[i], parallel8[i]) << "slot " << i;
+    }
+}
+
+TEST(Parallel, OrderedReduceFoldsInIndexOrder)
+{
+    parallel::JobsOverride pin(8);
+    const std::string joined =
+        parallel::orderedReduce<std::string, std::string>(
+            10, std::string(),
+            [](std::size_t i) { return std::to_string(i); },
+            [](std::string acc, std::string item) {
+                return acc + "," + item;
+            });
+    EXPECT_EQ(joined, ",0,1,2,3,4,5,6,7,8,9");
+}
+
+TEST(Parallel, OrderedReduceFloatSumMatchesSerialBitwise)
+{
+    const auto run = [](int jobs_count) {
+        parallel::JobsOverride pin(jobs_count);
+        return parallel::orderedReduce<double, double>(
+            1000, 0.0,
+            [](std::size_t i) {
+                return 1.0 / (static_cast<double>(i) + 1.0);
+            },
+            [](double acc, double item) { return acc + item; });
+    };
+    EXPECT_EQ(run(1), run(8));
+}
+
+TEST(Parallel, PoolRespawnsAfterShutdown)
+{
+    parallel::JobsOverride pin(4);
+    std::atomic<std::size_t> ran{0};
+    parallel::parallelFor(32, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 32u);
+
+    parallel::shutdownPool();
+
+    ran = 0;
+    parallel::parallelFor(32, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 32u);
+}
+
+} // namespace
+} // namespace otft
