@@ -22,6 +22,7 @@
 #include "sta/pipeline.hpp"
 #include "sta/sta.hpp"
 #include "util/parallel.hpp"
+#include "util/result_cache.hpp"
 #include "workload/trace.hpp"
 
 namespace otft::bench {
@@ -179,6 +180,55 @@ addTransientStep(perf::ScenarioSuite &suite)
     });
 }
 
+/**
+ * The adaptive/fixed stepping pair on the identical circuit and
+ * stimulus; the ratio of the two medians is the headline win of LTE
+ * step control on a settle-dominated waveform.
+ */
+void
+addTransientModes(perf::ScenarioSuite &suite)
+{
+    const auto setup = [] {
+        auto &f = fixtures();
+        if (!f.loadedInverter) {
+            auto &factory = f.getFactory();
+            f.loadedInverter.emplace(factory.inverter(
+                cells::InverterKind::PseudoE,
+                4.0 * factory.inputCap()));
+            auto &cell = *f.loadedInverter;
+            cell.ckt.setSourceWave(
+                cell.inputSources[0],
+                circuit::Pwl::pulse(0.0, cell.supply.vdd, 20e-6, 4e-6,
+                                    60e-6));
+        }
+    };
+    const auto body = [](bool fixed) -> std::uint64_t {
+        auto &cell = *fixtures().loadedInverter;
+        circuit::TransientConfig config;
+        config.tStop = 160e-6;
+        config.dt = 0.5e-6;
+        config.fixedStep = fixed;
+        const auto result =
+            circuit::TransientAnalysis(cell.ckt).run(config);
+        return result.time().size();
+    };
+    suite.add({
+        "circuit.transient_adaptive",
+        "circuit",
+        "LTE-controlled adaptive transient of the loaded pseudo-E "
+        "inverter pulse (default engine)",
+        setup,
+        [body]() -> std::uint64_t { return body(false); },
+    });
+    suite.add({
+        "circuit.transient_fixed",
+        "circuit",
+        "the same inverter pulse on the historical fixed 0.5 us grid",
+        setup,
+        [body]() -> std::uint64_t { return body(true); },
+    });
+}
+
 void
 addVtcSweep(perf::ScenarioSuite &suite)
 {
@@ -213,7 +263,11 @@ addNldmCharacterize(perf::ScenarioSuite &suite)
         []() -> std::uint64_t {
             // Pinned serial so this trajectory stays comparable with
             // reports recorded before the parallel layer landed; the
-            // _par variant below measures the threaded path.
+            // _par variant below measures the threaded path. The
+            // result cache is cleared every rep so the scenario keeps
+            // measuring real transient work (nldm_cached_resweep
+            // measures the memoized path).
+            cache::ResultCache::instance().clear();
             parallel::JobsOverride pin(1);
             liberty::Characterizer chr(fixtures().getFactory(),
                                        miniGrid());
@@ -230,7 +284,32 @@ addNldmCharacterize(perf::ScenarioSuite &suite)
         "hardware threads (one task per slew/load grid point)",
         [] { fixtures().getFactory(); },
         []() -> std::uint64_t {
+            cache::ResultCache::instance().clear();
             parallel::JobsOverride pin(parallel::hardwareJobs());
+            liberty::Characterizer chr(fixtures().getFactory(),
+                                       miniGrid());
+            const auto cell = chr.characterizeCombinational("inv");
+            (void)cell;
+            const auto &grid = miniGrid();
+            return grid.slewAxis.size() * grid.loadMultipliers.size();
+        },
+    });
+    suite.add({
+        "liberty.nldm_cached_resweep",
+        "liberty",
+        "re-characterization of the inverter with every arc point "
+        "served from the warm result cache",
+        [] {
+            // Warm the cache with one cold characterization; the
+            // timed body then re-sweeps the identical grid.
+            cache::ResultCache::instance().clear();
+            parallel::JobsOverride pin(1);
+            liberty::Characterizer chr(fixtures().getFactory(),
+                                       miniGrid());
+            (void)chr.characterizeCombinational("inv");
+        },
+        []() -> std::uint64_t {
+            parallel::JobsOverride pin(1);
             liberty::Characterizer chr(fixtures().getFactory(),
                                        miniGrid());
             const auto cell = chr.characterizeCombinational("inv");
@@ -332,7 +411,8 @@ addExplorerPoint(perf::ScenarioSuite &suite)
         "core.explorer_point",
         "core",
         "end-to-end design-point evaluation (synthesis + STA + IPC) "
-        "of the baseline core on the silicon library",
+        "of the baseline core on the silicon library; the process-wide "
+        "result cache stays warm across reps, as it does in a sweep",
         [] { fixtures().getSilicon(); },
         []() -> std::uint64_t {
             // Pinned serial for trajectory continuity (see
@@ -392,6 +472,9 @@ void
 addExplorerSweep(perf::ScenarioSuite &suite)
 {
     const auto body = [](int jobs_count) -> std::uint64_t {
+        // Cleared per rep: the scenario exists to compare serial vs
+        // parallel evaluation, so every rep must do real work.
+        cache::ResultCache::instance().clear();
         parallel::JobsOverride pin(jobs_count);
         core::ExplorerConfig config;
         config.instructions = 2000;
@@ -427,6 +510,7 @@ registerAllScenarios(perf::ScenarioSuite &suite)
     addDeviceFit(suite);
     addDcOperatingPoint(suite);
     addTransientStep(suite);
+    addTransientModes(suite);
     addVtcSweep(suite);
     addNldmCharacterize(suite);
     addNetlistGenerate(suite);

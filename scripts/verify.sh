@@ -3,12 +3,16 @@
 # the tier1-labelled test suite. This is the gate every change must
 # pass; CI runs exactly this script.
 #
-# Usage: scripts/verify.sh [--tsan|--asan] [build-dir]
+# Usage: scripts/verify.sh [--tsan|--asan|--bench] [build-dir]
 #
 #   --tsan   build with -fsanitize=thread into <build-dir>-tsan and
 #            run the concurrency-labelled tests under it
 #   --asan   build with -fsanitize=address into <build-dir>-asan and
 #            run the full tier1 label under it
+#   --bench  perf smoke lane: one-rep perf_suite run diffed against
+#            the committed bench-results/BENCH_seed.json baseline
+#            (informational timings, hard-fails only on crashes or a
+#            malformed report). Off by default; tier-1 stays perf-free.
 #
 # The sanitizer lanes keep their own build trees so the default tree
 # stays warm for the plain gate.
@@ -17,6 +21,7 @@ set -euo pipefail
 SANITIZE=""
 LANE_SUFFIX=""
 TEST_LABEL="tier1"
+PERF_SMOKE=0
 if [[ "${1:-}" == "--tsan" ]]; then
     SANITIZE="thread"
     LANE_SUFFIX="-tsan"
@@ -26,13 +31,38 @@ elif [[ "${1:-}" == "--asan" ]]; then
     SANITIZE="address"
     LANE_SUFFIX="-asan"
     shift
+elif [[ "${1:-}" == "--bench" ]]; then
+    PERF_SMOKE=1
+    shift
 fi
 
 BUILD_DIR="${1:-build}${LANE_SUFFIX}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "${BUILD_DIR}" -S "$(dirname "$0")/.." -DOTFT_WERROR=ON \
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DOTFT_WERROR=ON \
     -DOTFT_SANITIZE="${SANITIZE}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+if [[ "${PERF_SMOKE}" == "1" ]]; then
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+        --target perf_suite perf_diff
+    BASELINE="${REPO_ROOT}/bench-results/BENCH_seed.json"
+    SMOKE_OUT="${BUILD_DIR}/BENCH_smoke.json"
+    "${BUILD_DIR}/bench/perf_suite" --reps 1 --warmup 0 \
+        --out "${SMOKE_OUT}"
+    if [ -e "${BASELINE}" ]; then
+        echo "perf smoke vs committed seed baseline:"
+        # One rep is too noisy to gate on; regressions are reported,
+        # not fatal. A crash or malformed report still fails the lane.
+        "${BUILD_DIR}/bench/perf_diff" "${BASELINE}" "${SMOKE_OUT}" \
+            || true
+    else
+        echo "warning: ${BASELINE} missing; recorded smoke run only"
+    fi
+    exit 0
+fi
+
 ctest --test-dir "${BUILD_DIR}" -L "${TEST_LABEL}" \
     --output-on-failure -j "${JOBS}"

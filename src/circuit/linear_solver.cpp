@@ -1,29 +1,40 @@
 #include "circuit/linear_solver.hpp"
 
-#include <algorithm>
 #include <cmath>
 
+#include "util/logging.hpp"
 #include "util/stats_registry.hpp"
 
 namespace otft::circuit {
 
+namespace {
+
+stats::Counter &
+statFactor()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.lu.factorizations", "LU factorizations performed");
+    return c;
+}
+
+stats::Counter &
+statSingular()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.lu.singular", "LU factorizations that hit a near-zero "
+                               "pivot");
+    return c;
+}
+
+} // namespace
+
 bool
 solveLinear(Matrix &a, std::vector<double> &b)
 {
-    static stats::Counter &stat_factor = stats::counter(
-        "circuit.lu.factorizations", "LU factorizations performed");
-    static stats::Counter &stat_singular = stats::counter(
-        "circuit.lu.singular", "LU factorizations that hit a near-zero "
-                               "pivot");
-
     const std::size_t n = a.size();
     if (b.size() != n)
         return false;
-    ++stat_factor;
-
-    std::vector<std::size_t> perm(n);
-    for (std::size_t i = 0; i < n; ++i)
-        perm[i] = i;
+    ++statFactor();
 
     for (std::size_t k = 0; k < n; ++k) {
         // Partial pivot: largest magnitude in column k at/below row k.
@@ -37,7 +48,7 @@ solveLinear(Matrix &a, std::vector<double> &b)
             }
         }
         if (best < 1e-30) {
-            ++stat_singular;
+            ++statSingular();
             return false;
         }
         if (pivot != k) {
@@ -66,6 +77,92 @@ solveLinear(Matrix &a, std::vector<double> &b)
         b[i] = s / a.at(i, i);
     }
     return true;
+}
+
+bool
+LuFactors::factor(const Matrix &a)
+{
+    const std::size_t n = a.size();
+    valid_ = false;
+    if (lu.size() != n)
+        lu = Matrix(n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            lu.at(r, c) = a.at(r, c);
+    perm.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    ++statFactor();
+
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(lu.at(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double v = std::abs(lu.at(r, k));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-30) {
+            ++statSingular();
+            return false;
+        }
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu.at(k, c), lu.at(pivot, c));
+            std::swap(perm[k], perm[pivot]);
+        }
+
+        const double inv = 1.0 / lu.at(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = lu.at(r, k) * inv;
+            // Store the multiplier in the eliminated position so
+            // solve() can replay the elimination on any RHS.
+            lu.at(r, k) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = k + 1; c < n; ++c)
+                lu.at(r, c) -= factor * lu.at(k, c);
+        }
+    }
+    valid_ = true;
+    return true;
+}
+
+void
+LuFactors::solve(std::vector<double> &b) const
+{
+    if (!valid_)
+        panic("LuFactors::solve: no valid factorization");
+    const std::size_t n = lu.size();
+    if (b.size() != n)
+        panic("LuFactors::solve: RHS size mismatch");
+
+    static stats::Counter &stat_solves = stats::counter(
+        "circuit.lu.solves", "triangular solves against stored factors");
+    ++stat_solves;
+
+    // Apply the row permutation.
+    std::vector<double> pb(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pb[i] = b[perm[i]];
+
+    // Forward substitution with the unit-lower factor.
+    for (std::size_t i = 1; i < n; ++i) {
+        double s = pb[i];
+        for (std::size_t c = 0; c < i; ++c)
+            s -= lu.at(i, c) * pb[c];
+        pb[i] = s;
+    }
+    // Back substitution with the upper factor.
+    for (std::size_t i = n; i-- > 0;) {
+        double s = pb[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            s -= lu.at(i, c) * pb[c];
+        pb[i] = s / lu.at(i, i);
+    }
+    b = std::move(pb);
 }
 
 } // namespace otft::circuit

@@ -5,11 +5,18 @@
  * Standard-cell circuits have at most a few dozen nodes, so a dense
  * LU factorization with partial pivoting is both simpler and faster
  * than a sparse solver at this scale.
+ *
+ * Two entry points: solveLinear() factors and solves in one shot
+ * (destroying its inputs), while LuFactors splits factor() from
+ * solve() so one factorization can back many right-hand sides — the
+ * workhorse of chord (modified) Newton iterations, where the Jacobian
+ * is frozen while only the residual changes.
  */
 
 #ifndef OTFT_CIRCUIT_LINEAR_SOLVER_HPP
 #define OTFT_CIRCUIT_LINEAR_SOLVER_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -41,6 +48,42 @@ class Matrix
  * @return false if the matrix is numerically singular
  */
 bool solveLinear(Matrix &a, std::vector<double> &b);
+
+/**
+ * A reusable LU factorization (partial pivoting).
+ *
+ * factor() copies the matrix and factorizes the copy; solve() then
+ * applies the stored permutation plus forward/back substitution to
+ * any number of right-hand sides without re-factoring. Storage is
+ * retained across factor() calls of the same size, so a Newton loop
+ * re-factoring in place allocates only once.
+ */
+class LuFactors
+{
+  public:
+    /**
+     * Factor `a`. @return false when numerically singular (a
+     * near-zero pivot); the factors are then invalid.
+     */
+    bool factor(const Matrix &a);
+
+    /** Solve L U x = P b in place; requires valid(). */
+    void solve(std::vector<double> &b) const;
+
+    /** @return true after a successful factor(). */
+    bool valid() const { return valid_; }
+
+    /** Dimension of the factored system (0 before factor()). */
+    std::size_t size() const { return lu.size(); }
+
+    /** Drop the factors (e.g. when the matrix structure changes). */
+    void invalidate() { valid_ = false; }
+
+  private:
+    Matrix lu{0};
+    std::vector<std::size_t> perm;
+    bool valid_ = false;
+};
 
 } // namespace otft::circuit
 

@@ -37,10 +37,11 @@ Mna::sourceCurrent(const Solution &x, SourceId source) const
 
 void
 Mna::assemble(const Solution &x, double time, double source_scale,
-              double dt, const Solution *x_prev, Matrix &jac,
+              double dt, const Solution *x_prev, Matrix *jac,
               std::vector<double> &residual) const
 {
-    jac.clear();
+    if (jac != nullptr)
+        jac->clear();
     std::fill(residual.begin(), residual.end(), 0.0);
 
     auto volt = [&](NodeId n) { return nodeVoltage(x, n); };
@@ -52,21 +53,26 @@ Mna::assemble(const Solution &x, double time, double source_scale,
         const int ia = nodeIndex(a), ib = nodeIndex(b);
         if (ia >= 0) {
             residual[static_cast<std::size_t>(ia)] += i;
-            jac.at(ia, ia) += g;
-            if (ib >= 0)
-                jac.at(ia, ib) -= g;
+            if (jac != nullptr) {
+                jac->at(ia, ia) += g;
+                if (ib >= 0)
+                    jac->at(ia, ib) -= g;
+            }
         }
         if (ib >= 0) {
             residual[static_cast<std::size_t>(ib)] -= i;
-            jac.at(ib, ib) += g;
-            if (ia >= 0)
-                jac.at(ib, ia) -= g;
+            if (jac != nullptr) {
+                jac->at(ib, ib) += g;
+                if (ia >= 0)
+                    jac->at(ib, ia) -= g;
+            }
         }
     };
 
     // gmin from every non-ground node to ground.
     for (std::size_t n = 0; n < numNodeUnknowns; ++n) {
-        jac.at(n, n) += cfg.gmin;
+        if (jac != nullptr)
+            jac->at(n, n) += cfg.gmin;
         residual[n] += cfg.gmin * x[n];
     }
 
@@ -104,13 +110,17 @@ Mna::assemble(const Solution &x, double time, double source_scale,
         // Branch current leaves the source at `pos`.
         if (ip >= 0) {
             residual[static_cast<std::size_t>(ip)] -= i_branch;
-            jac.at(ip, row) -= 1.0;
-            jac.at(row, ip) += 1.0;
+            if (jac != nullptr) {
+                jac->at(ip, row) -= 1.0;
+                jac->at(row, ip) += 1.0;
+            }
         }
         if (in >= 0) {
             residual[static_cast<std::size_t>(in)] += i_branch;
-            jac.at(in, row) += 1.0;
-            jac.at(row, in) -= 1.0;
+            if (jac != nullptr) {
+                jac->at(in, row) += 1.0;
+                jac->at(row, in) -= 1.0;
+            }
         }
         residual[row] =
             volt(s.pos) - volt(s.neg) - s.wave.at(time) * source_scale;
@@ -120,8 +130,6 @@ Mna::assemble(const Solution &x, double time, double source_scale,
         const double vgs = volt(fet.gate) - volt(fet.source);
         const double vds = volt(fet.drain) - volt(fet.source);
         const double id = fet.model->drainCurrent(vgs, vds);
-        const double gm = fet.model->gm(vgs, vds);
-        const double gds = fet.model->gds(vgs, vds);
 
         const int idx_d = nodeIndex(fet.drain);
         const int idx_g = nodeIndex(fet.gate);
@@ -129,21 +137,28 @@ Mna::assemble(const Solution &x, double time, double source_scale,
 
         // Current id flows into the drain terminal and out of the
         // source terminal.
-        if (idx_d >= 0) {
+        if (idx_d >= 0)
             residual[static_cast<std::size_t>(idx_d)] += id;
-            jac.at(idx_d, idx_d) += gds;
+        if (idx_s >= 0)
+            residual[static_cast<std::size_t>(idx_s)] -= id;
+        if (jac == nullptr)
+            continue;
+
+        const double gm = fet.model->gm(vgs, vds);
+        const double gds = fet.model->gds(vgs, vds);
+        if (idx_d >= 0) {
+            jac->at(idx_d, idx_d) += gds;
             if (idx_g >= 0)
-                jac.at(idx_d, idx_g) += gm;
+                jac->at(idx_d, idx_g) += gm;
             if (idx_s >= 0)
-                jac.at(idx_d, idx_s) -= gm + gds;
+                jac->at(idx_d, idx_s) -= gm + gds;
         }
         if (idx_s >= 0) {
-            residual[static_cast<std::size_t>(idx_s)] -= id;
-            jac.at(idx_s, idx_s) += gm + gds;
+            jac->at(idx_s, idx_s) += gm + gds;
             if (idx_g >= 0)
-                jac.at(idx_s, idx_g) -= gm;
+                jac->at(idx_s, idx_g) -= gm;
             if (idx_d >= 0)
-                jac.at(idx_s, idx_d) -= gds;
+                jac->at(idx_s, idx_d) -= gds;
         }
     }
 }
@@ -159,6 +174,16 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
         "circuit.newton.solves", "Newton solves attempted");
     static stats::Counter &stat_iters = stats::counter(
         "circuit.newton.iterations", "Newton iterations executed");
+    static stats::Counter &stat_chord_iters = stats::counter(
+        "circuit.newton.chord_iterations",
+        "iterations served by a reused (chord) Jacobian");
+    static stats::Counter &stat_refreshes = stats::counter(
+        "circuit.newton.jacobian_refreshes",
+        "chord iterations that triggered a Jacobian rebuild "
+        "(slow convergence)");
+    static stats::Counter &stat_singular_recoveries = stats::counter(
+        "circuit.newton.singular_recoveries",
+        "singular Jacobians recovered via a diagonal gmin boost");
     static stats::Counter &stat_failures = stats::counter(
         "circuit.newton.failures", "Newton solves that diverged");
     static stats::Histogram &stat_iter_hist = stats::histogram(
@@ -179,18 +204,44 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
     stats::ScopedTimer timer(stat_time);
 
     Matrix jac(unknowns);
+    LuFactors lu;
     std::vector<double> residual(unknowns, 0.0);
 
+    // Factor the current Jacobian; on a singular matrix, retry once
+    // with a small conductance added to the node diagonals (rescues
+    // e.g. momentarily floating nodes when gmin is disabled).
+    const auto refactor = [&]() -> bool {
+        assemble(x, time, source_scale, dt, x_prev, &jac, residual);
+        if (lu.factor(jac))
+            return true;
+        if (cfg.singularGminBoost <= 0.0)
+            return false;
+        ++stat_singular_recoveries;
+        for (std::size_t n = 0; n < numNodeUnknowns; ++n)
+            jac.at(n, n) += cfg.singularGminBoost;
+        return lu.factor(jac);
+    };
+
+    double prev_update = 0.0;
+    bool refresh = true;
     for (int iter = 0; iter < cfg.maxIterations; ++iter) {
         ++stat_iters;
-        assemble(x, time, source_scale, dt, x_prev, jac, residual);
+        if (refresh || !cfg.chord) {
+            if (!refactor()) {
+                ++stat_failures;
+                return false;
+            }
+            refresh = false;
+        } else {
+            // Chord iteration: new residual against frozen factors.
+            ++stat_chord_iters;
+            assemble(x, time, source_scale, dt, x_prev, nullptr,
+                     residual);
+        }
 
         // Solve J * delta = residual; update is x -= delta.
         std::vector<double> delta = residual;
-        if (!solveLinear(jac, delta)) {
-            ++stat_failures;
-            return false;
-        }
+        lu.solve(delta);
 
         double max_update = 0.0;
         for (std::size_t i = 0; i < unknowns; ++i) {
@@ -206,6 +257,15 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
             stat_iter_hist.sample(static_cast<double>(iter + 1));
             return true;
         }
+
+        // Refresh the Jacobian when the frozen one converges slowly
+        // (linear rate worse than chordRefreshRatio per iteration).
+        if (cfg.chord && iter > 0 &&
+            max_update > cfg.chordRefreshRatio * prev_update) {
+            refresh = true;
+            ++stat_refreshes;
+        }
+        prev_update = max_update;
     }
     ++stat_failures;
     return false;

@@ -30,6 +30,27 @@ struct NewtonConfig
     double tolerance = 1e-7;
     /** Per-component update clamp, volts (damping). */
     double maxStep = 2.0;
+    /**
+     * Chord (modified) Newton: reuse the factored Jacobian across
+     * iterations while convergence is fast, re-assembling only the
+     * residual (which skips the gm/gds finite differences and the LU
+     * factorization). The Jacobian is refreshed automatically when
+     * the update shrinks slower than chordRefreshRatio per iteration,
+     * so strongly nonlinear solves degrade gracefully to full Newton.
+     */
+    bool chord = true;
+    /**
+     * Refresh trigger: when max_update > ratio * previous max_update
+     * under frozen factors, the next iteration rebuilds the Jacobian.
+     */
+    double chordRefreshRatio = 0.5;
+    /**
+     * Singular-Jacobian recovery: when a fresh factorization is
+     * singular (e.g. a floating node with gmin disabled), retry once
+     * with this extra conductance on the node diagonals. 0 disables
+     * recovery (the solve then fails as before).
+     */
+    double singularGminBoost = 1e-9;
 };
 
 /** A solution vector (node voltages + source branch currents). */
@@ -79,9 +100,13 @@ class Mna
     /** Row/column index of a node, or -1 for ground. */
     int nodeIndex(NodeId node) const { return node - 1; }
 
-    /** Assemble Jacobian and residual at the current iterate. */
+    /**
+     * Assemble the residual at the current iterate, and the Jacobian
+     * too when `jac` is non-null. Chord iterations pass null and skip
+     * the per-device gm/gds finite differences entirely.
+     */
     void assemble(const Solution &x, double time, double source_scale,
-                  double dt, const Solution *x_prev, Matrix &jac,
+                  double dt, const Solution *x_prev, Matrix *jac,
                   std::vector<double> &residual) const;
 
     const Circuit &ckt;

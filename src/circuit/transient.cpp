@@ -10,6 +10,27 @@
 
 namespace otft::circuit {
 
+namespace {
+
+stats::Counter &
+statSteps()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.transient.steps", "transient time steps integrated");
+    return c;
+}
+
+stats::Counter &
+statRetries()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.transient.retries",
+        "time steps that needed step halving");
+    return c;
+}
+
+} // namespace
+
 TransientResult::TransientResult(std::vector<double> time,
                                  std::vector<std::vector<double>> node_v,
                                  std::vector<std::vector<double>> source_i)
@@ -64,18 +85,47 @@ TransientAnalysis::run(const TransientConfig &config) const
     if (config.tStop <= 0.0 || config.dt <= 0.0)
         fatal("TransientAnalysis: tStop and dt must be positive");
 
+    // Initial condition: DC operating point with sources at t = 0.
+    DcAnalysis dc(ckt, config.newton);
+    return integrate(config, dc.operatingPoint());
+}
+
+TransientResult
+TransientAnalysis::run(const TransientConfig &config,
+                       const Solution &initial) const
+{
+    if (config.tStop <= 0.0 || config.dt <= 0.0)
+        fatal("TransientAnalysis: tStop and dt must be positive");
+    return integrate(config, initial);
+}
+
+TransientResult
+TransientAnalysis::integrate(const TransientConfig &config, Solution x) const
+{
     static stats::Counter &stat_runs = stats::counter(
         "circuit.transient.runs", "transient analyses executed");
-    static stats::Counter &stat_steps = stats::counter(
-        "circuit.transient.steps", "transient time steps integrated");
-    static stats::Counter &stat_retries = stats::counter(
-        "circuit.transient.retries",
-        "time steps that needed step halving");
     OTFT_TRACE_SCOPE("circuit.transient.run");
     ++stat_runs;
 
     Mna mna(ckt, config.newton);
+    if (x.size() != mna.numUnknowns())
+        fatal("TransientAnalysis: initial state has ", x.size(),
+              " unknowns, circuit needs ", mna.numUnknowns());
 
+    if (config.fixedStep)
+        return runFixed(config, mna, std::move(x));
+    return runAdaptive(config, mna, std::move(x));
+}
+
+/**
+ * The historical uniform-grid integrator. Every arithmetic operation
+ * here is kept identical to the pre-adaptive engine so fixedStep runs
+ * reproduce old trajectories bit-for-bit.
+ */
+TransientResult
+TransientAnalysis::runFixed(const TransientConfig &config, Mna &mna,
+                            Solution x) const
+{
     // Build the time grid: uniform steps plus waveform breakpoints.
     std::set<double> grid;
     const std::size_t n_steps =
@@ -94,10 +144,6 @@ TransientAnalysis::run(const TransientConfig &config) const
     std::vector<std::vector<double>> node_v(n_nodes);
     std::vector<std::vector<double>> source_i(n_sources);
 
-    // Initial condition: DC operating point with sources at t = 0.
-    DcAnalysis dc(ckt, config.newton);
-    Solution x = dc.operatingPoint();
-
     auto record = [&](const Solution &sol) {
         for (std::size_t n = 0; n < n_nodes; ++n)
             node_v[n].push_back(
@@ -111,10 +157,10 @@ TransientAnalysis::run(const TransientConfig &config) const
     for (std::size_t k = 1; k < times.size(); ++k) {
         const double t = times[k];
         const double h = t - times[k - 1];
-        ++stat_steps;
+        ++statSteps();
         Solution x_next = x;
         if (!mna.solveNewton(x_next, t, 1.0, h, &x)) {
-            ++stat_retries;
+            ++statRetries();
             // Retry with the step halved (two sub-steps).
             const double t_mid = times[k - 1] + 0.5 * h;
             Solution x_mid = x;
@@ -129,6 +175,153 @@ TransientAnalysis::run(const TransientConfig &config) const
         }
         x = std::move(x_next);
         record(x);
+    }
+
+    return TransientResult(std::move(times), std::move(node_v),
+                           std::move(source_i));
+}
+
+/**
+ * LTE-controlled variable-step integrator.
+ *
+ * The BE local truncation error over a step h is h^2/2 * v''(xi).
+ * With the last three accepted solutions (x_before at t-h_prev, x at
+ * t, x_new at t+h) the second derivative of each node voltage is
+ * estimated by divided differences, giving per-node
+ *
+ *     lte = h^2 * |d1 - d0| / (h + h_prev),
+ *     d1 = (x_new - x) / h,   d0 = (x - x_before) / h_prev.
+ *
+ * A step whose worst-node lte exceeds config.lteTol is rejected and
+ * retried smaller; accepted steps scale the next step by
+ * 0.9 * sqrt(lteTol / err), capped at 2x growth. Steps land exactly
+ * on waveform breakpoints, where the difference history is also reset
+ * (the input derivative is discontinuous there, so carrying the
+ * estimate across would reject the first post-edge step spuriously).
+ */
+TransientResult
+TransientAnalysis::runAdaptive(const TransientConfig &config, Mna &mna,
+                               Solution x) const
+{
+    static stats::Counter &stat_rejections = stats::counter(
+        "circuit.transient.lte_rejections",
+        "adaptive steps rejected for excess local truncation error");
+
+    const double dt_min =
+        config.dtMin > 0.0 ? config.dtMin : config.dt / 256.0;
+    const double dt_max = std::max(
+        dt_min, config.dtMax > 0.0 ? config.dtMax : config.dt * 64.0);
+    if (config.lteTol <= 0.0)
+        fatal("TransientAnalysis: lteTol must be positive");
+
+    // Mandatory stop times: waveform breakpoints, then tStop.
+    std::set<double> stop_set;
+    for (const auto &s : ckt.voltageSources())
+        for (double t : s.wave.breakpoints())
+            if (t > 0.0 && t < config.tStop)
+                stop_set.insert(t);
+    stop_set.insert(config.tStop);
+    const std::vector<double> stops(stop_set.begin(), stop_set.end());
+
+    const std::size_t n_nodes = ckt.numNodes();
+    const std::size_t n_sources = ckt.voltageSources().size();
+    const std::size_t n_volt = n_nodes - 1;
+    std::vector<double> times;
+    std::vector<std::vector<double>> node_v(n_nodes);
+    std::vector<std::vector<double>> source_i(n_sources);
+
+    auto record = [&](double t, const Solution &sol) {
+        times.push_back(t);
+        for (std::size_t n = 0; n < n_nodes; ++n)
+            node_v[n].push_back(
+                mna.nodeVoltage(sol, static_cast<NodeId>(n)));
+        for (std::size_t s = 0; s < n_sources; ++s)
+            source_i[s].push_back(
+                mna.sourceCurrent(sol, static_cast<SourceId>(s)));
+    };
+    record(0.0, x);
+
+    // Runaway guard: no well-posed run needs more attempts than
+    // resolving the whole span at dt_min with every step rejected once.
+    const std::size_t max_attempts =
+        4 * static_cast<std::size_t>(config.tStop / dt_min + 1.0) +
+        4 * stops.size() + 1024;
+    std::size_t attempts = 0;
+
+    double t = 0.0;
+    double h = std::clamp(config.dt, dt_min, dt_max);
+    std::size_t next_stop = 0;
+    // Divided-difference history (invalid until two accepted steps
+    // inside the current waveform segment).
+    Solution x_before;
+    double h_prev = 0.0;
+    bool have_history = false;
+
+    while (t < config.tStop && next_stop < stops.size()) {
+        if (++attempts > max_attempts)
+            fatal("TransientAnalysis: adaptive stepping stalled at t = ",
+                  t, " s");
+
+        // Land exactly on the next mandatory stop time.
+        const double bp = stops[next_stop];
+        bool landing = false;
+        if (t + h >= bp || bp - (t + h) < 0.25 * dt_min) {
+            h = bp - t;
+            landing = true;
+        }
+
+        ++statSteps();
+        const double t_new = landing ? bp : t + h;
+        Solution x_new = x;
+        if (!mna.solveNewton(x_new, t_new, 1.0, h, &x)) {
+            ++statRetries();
+            if (h <= dt_min * 1.0000001)
+                fatal("TransientAnalysis: Newton failed at t = ", t_new,
+                      " s with the minimum step");
+            h = std::max(dt_min, 0.5 * h);
+            continue;
+        }
+
+        // LTE estimate once two prior points exist in this segment.
+        double growth = 2.0;
+        if (have_history) {
+            double err = 0.0;
+            for (std::size_t i = 0; i < n_volt; ++i) {
+                const double d1 = (x_new[i] - x[i]) / h;
+                const double d0 = (x[i] - x_before[i]) / h_prev;
+                const double lte =
+                    h * h * std::abs(d1 - d0) / (h + h_prev);
+                err = std::max(err, lte);
+            }
+            if (err > config.lteTol && h > dt_min * 1.0000001) {
+                ++stat_rejections;
+                const double shrink = std::max(
+                    0.3, 0.9 * std::sqrt(config.lteTol / err));
+                h = std::max(dt_min, h * shrink);
+                continue;
+            }
+            if (err > 0.0)
+                growth = std::min(
+                    2.0, 0.9 * std::sqrt(config.lteTol / err));
+        }
+
+        // Accept.
+        x_before = std::move(x);
+        x = std::move(x_new);
+        h_prev = h;
+        have_history = true;
+        t = t_new;
+        record(t, x);
+
+        if (landing) {
+            ++next_stop;
+            // Input slope is discontinuous across a breakpoint:
+            // restart both the difference history and the step size.
+            have_history = false;
+            h = std::clamp(config.dt, dt_min, dt_max);
+        } else {
+            h = std::clamp(h * std::max(growth, 0.1), dt_min, dt_max);
+        }
     }
 
     return TransientResult(std::move(times), std::move(node_v),

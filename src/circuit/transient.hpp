@@ -4,9 +4,23 @@
  *
  * Backward Euler is L-stable, which matters here: unipolar OTFT cells
  * have decades of conductance spread between on and off devices and
- * trapezoidal integration rings on such stiff systems. Steps are
- * fixed-size with extra steps inserted at source waveform breakpoints
- * so ramps start and stop exactly on a solver step.
+ * trapezoidal integration rings on such stiff systems.
+ *
+ * Two stepping modes:
+ *
+ *  - adaptive (default): the local truncation error of each BE step
+ *    is estimated from divided differences of the last three accepted
+ *    solutions (LTE ~ h^2/2 * v''); steps whose worst-node LTE
+ *    exceeds `lteTol` are rejected and retried smaller, and accepted
+ *    steps grow the next step by up to 2x. Steps always land exactly
+ *    on source-waveform breakpoints (and restart their error history
+ *    there, where the input derivative is discontinuous), so ramps
+ *    start and stop on a solver step just like the fixed grid.
+ *
+ *  - fixed (`fixedStep = true`): the original uniform grid at `dt`
+ *    with breakpoints inserted, bit-for-bit identical to the
+ *    historical engine; the reference for accuracy tests and for any
+ *    trajectory that predates adaptive stepping.
  */
 
 #ifndef OTFT_CIRCUIT_TRANSIENT_HPP
@@ -25,10 +39,27 @@ struct TransientConfig
 {
     /** Simulation end time, seconds. */
     double tStop = 1.0;
-    /** Base time step, seconds. */
+    /**
+     * Base time step, seconds. Fixed mode steps at exactly dt;
+     * adaptive mode starts each waveform segment at dt and derives
+     * its step bounds from it when dtMin/dtMax are unset.
+     */
     double dt = 1e-3;
     /** Newton controls for each step. */
     NewtonConfig newton = {};
+
+    /** Integrate on the historical uniform grid (no LTE control). */
+    bool fixedStep = false;
+    /**
+     * Per-step local truncation error target, volts (worst node).
+     * The global waveform error stays within a small multiple of
+     * this; see DESIGN.md "Solver accuracy/speed contract".
+     */
+    double lteTol = 2e-3;
+    /** Smallest adaptive step; 0 derives dt / 256. */
+    double dtMin = 0.0;
+    /** Largest adaptive step; 0 derives dt * 64. */
+    double dtMax = 0.0;
 };
 
 /** Sampled node voltages and source currents over a transient run. */
@@ -76,7 +107,22 @@ class TransientAnalysis
      */
     TransientResult run(const TransientConfig &config) const;
 
+    /**
+     * Run with an explicit initial state (the converged t = 0
+     * operating point, e.g. a memoized one), skipping the DC solve.
+     * The caller must supply a solution of the right size.
+     */
+    TransientResult run(const TransientConfig &config,
+                        const Solution &initial) const;
+
   private:
+    TransientResult integrate(const TransientConfig &config,
+                              Solution x) const;
+    TransientResult runFixed(const TransientConfig &config, Mna &mna,
+                             Solution x) const;
+    TransientResult runAdaptive(const TransientConfig &config,
+                                Mna &mna, Solution x) const;
+
     Circuit &ckt;
 };
 

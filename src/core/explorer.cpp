@@ -4,16 +4,103 @@
 #include "netlist/bufferize.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/result_cache.hpp"
 #include "util/stats.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
 
 namespace otft::core {
 
+namespace {
+
+/**
+ * Flatten a DesignPoint into the cache payload format. The config is
+ * part of the key, so only the derived quantities are stored.
+ */
+std::vector<double>
+packDesignPoint(const DesignPoint &p)
+{
+    std::vector<double> v;
+    v.push_back(p.timing.clockPeriod);
+    v.push_back(p.timing.frequency);
+    v.push_back(p.timing.area);
+    v.push_back(static_cast<double>(
+        static_cast<int>(p.timing.critical)));
+    v.push_back(static_cast<double>(p.timing.complexAluStages));
+    v.push_back(static_cast<double>(p.timing.regions.size()));
+    for (const RegionTiming &r : p.timing.regions) {
+        v.push_back(static_cast<double>(static_cast<int>(r.region)));
+        v.push_back(static_cast<double>(r.stages));
+        v.push_back(r.clockPeriod);
+        v.push_back(r.area);
+        v.push_back(static_cast<double>(r.cells));
+    }
+    v.push_back(static_cast<double>(p.ipc.size()));
+    for (double ipc : p.ipc)
+        v.push_back(ipc);
+    v.push_back(p.meanIpc);
+    v.push_back(p.performance);
+    return v;
+}
+
+/** Inverse of packDesignPoint. @return false on a malformed payload. */
+bool
+unpackDesignPoint(const std::vector<double> &v,
+                  const arch::CoreConfig &config, DesignPoint &out)
+{
+    std::size_t i = 0;
+    const auto next = [&](double &dst) {
+        if (i >= v.size())
+            return false;
+        dst = v[i++];
+        return true;
+    };
+    DesignPoint p;
+    p.config = config;
+    double critical = 0.0, alu_stages = 0.0, n_regions = 0.0;
+    if (!next(p.timing.clockPeriod) || !next(p.timing.frequency) ||
+        !next(p.timing.area) || !next(critical) ||
+        !next(alu_stages) || !next(n_regions))
+        return false;
+    if (critical < 0.0 || critical >= arch::numRegions ||
+        n_regions < 0.0 || n_regions > arch::numRegions)
+        return false;
+    p.timing.critical =
+        static_cast<arch::Region>(static_cast<int>(critical));
+    p.timing.complexAluStages = static_cast<int>(alu_stages);
+    for (int k = 0; k < static_cast<int>(n_regions); ++k) {
+        RegionTiming r;
+        double region = 0.0, stages = 0.0, cells = 0.0;
+        if (!next(region) || !next(stages) || !next(r.clockPeriod) ||
+            !next(r.area) || !next(cells))
+            return false;
+        if (region < 0.0 || region >= arch::numRegions)
+            return false;
+        r.region = static_cast<arch::Region>(static_cast<int>(region));
+        r.stages = static_cast<int>(stages);
+        r.cells = static_cast<std::size_t>(cells);
+        p.timing.regions.push_back(r);
+    }
+    double n_ipc = 0.0;
+    if (!next(n_ipc) || n_ipc < 0.0 || n_ipc > 1e6)
+        return false;
+    p.ipc.resize(static_cast<std::size_t>(n_ipc));
+    for (double &ipc : p.ipc)
+        if (!next(ipc))
+            return false;
+    if (!next(p.meanIpc) || !next(p.performance) || i != v.size())
+        return false;
+    out = std::move(p);
+    return true;
+}
+
+} // namespace
+
 ArchExplorer::ArchExplorer(const liberty::CellLibrary &library,
                            ExplorerConfig config)
     : library(library), config_(config), synth(library, config.sta),
-      workloads(workload::paperWorkloads())
+      workloads(workload::paperWorkloads()),
+      libraryHash(library.contentHash())
 {
 }
 
@@ -57,7 +144,33 @@ ArchExplorer::evaluateWith(CoreSynthesizer &synthesizer,
     OTFT_TRACE_SCOPE("explorer.point.evaluate");
     ++stat_points;
 
+    // Key on everything that determines the result: library content,
+    // STA + exploration config, and the full core configuration.
+    cache::KeyHasher key;
+    key.add("explorer.point-v1").add(libraryHash);
+    const sta::StaConfig &sta = synthesizer.staConfig();
+    key.add(sta.wireEnabled).add(sta.extraSpanPerNet);
+    key.add(sta.registerInputs).add(sta.registerOutputs);
+    key.add(sta.noWireMarginFraction).add(sta.spanCoefficient);
+    key.add(synthesizer.loopSpanCoefficient);
+    key.add(config_.instructions).add(config_.seed);
+    key.add(config.fetchWidth).add(config.aluPipes);
+    key.add(config.memPipes).add(config.branchPipes);
+    for (int s : config.stages)
+        key.add(s);
+    key.add(config.robSize).add(config.iqSize).add(config.lsqSize);
+    key.add(config.predictorBits);
+    key.add(config.mulLatency).add(config.divLatency);
+    key.add(config.l1Latency).add(config.l2Latency);
+    key.add(config.memLatency);
+
     DesignPoint point;
+    std::vector<double> payload;
+    if (config_.useCache &&
+        cache::lookup("explorer.point", key.digest(), payload) &&
+        unpackDesignPoint(payload, config, point))
+        return point;
+
     point.config = config;
     {
         stats::ScopedTimer timer(stat_synth_time);
@@ -66,6 +179,9 @@ ArchExplorer::evaluateWith(CoreSynthesizer &synthesizer,
     point.ipc = measureIpc(config);
     point.meanIpc = mean(point.ipc);
     point.performance = point.meanIpc * point.timing.frequency;
+    if (config_.useCache)
+        cache::store("explorer.point", key.digest(),
+                     packDesignPoint(point));
     return point;
 }
 

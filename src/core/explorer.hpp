@@ -71,6 +71,13 @@ struct ExplorerConfig
     std::uint64_t seed = 7;
     /** STA configuration (wire on/off for Fig. 15). */
     sta::StaConfig sta = {};
+    /**
+     * Memoize design-point evaluations in the process-wide result
+     * cache, keyed on the library content hash plus the full core and
+     * solver configuration. Hits are returned verbatim, so sweeps are
+     * bit-identical with the cache cold or warm.
+     */
+    bool useCache = true;
 };
 
 /** The exploration driver bound to one technology library. */
@@ -115,6 +122,8 @@ class ArchExplorer
     ExplorerConfig config_;
     CoreSynthesizer synth;
     std::vector<workload::BenchmarkProfile> workloads;
+    /** library.contentHash(), computed once at construction. */
+    std::uint64_t libraryHash = 0;
 };
 
 } // namespace otft::core

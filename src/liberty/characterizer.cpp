@@ -8,6 +8,7 @@
 #include "liberty/serialize.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/result_cache.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
 
@@ -29,6 +30,40 @@ fanInOf(const std::string &name)
     if (name == "nand3" || name == "nor3")
         return 3;
     fatal("Characterizer: unknown cell ", name);
+}
+
+/**
+ * Hash everything outside the (cell, pin, slew, load) coordinates
+ * that can change a measurement: device model, sizing, supply,
+ * characterization settings, and the solver configuration. Each
+ * caller prepends its own versioned salt; bump that salt when the
+ * producing algorithm changes in a result-affecting way.
+ */
+void
+hashMeasurementContext(cache::KeyHasher &h,
+                       const cells::CellFactory &factory,
+                       const CharacterizerConfig &cfg,
+                       const circuit::TransientConfig &tran)
+{
+    const device::Level61Params &p = factory.params();
+    h.add(p.vt0).add(p.vdsRef).add(p.dibl).add(p.diblVmax);
+    h.add(p.u0).add(p.gamma).add(p.vaa).add(p.ss);
+    h.add(p.mSat).add(p.alphaSat).add(p.lambda).add(p.iOff);
+
+    const cells::CellSizing &s = factory.sizing();
+    h.add(s.l).add(s.wDrive).add(s.wLoad);
+    h.add(s.wShiftDrive).add(s.wShiftLoad).add(s.routingFactor);
+
+    const cells::SupplyConfig &v = factory.supply();
+    h.add(v.vdd).add(v.vss);
+
+    h.add(cfg.dt).add(cfg.slewLow).add(cfg.slewHigh);
+
+    h.add(tran.dt).add(tran.tStop).add(tran.fixedStep);
+    h.add(tran.lteTol).add(tran.dtMin).add(tran.dtMax);
+    const circuit::NewtonConfig &n = tran.newton;
+    h.add(n.gmin).add(n.maxIterations).add(n.tolerance).add(n.maxStep);
+    h.add(n.chord).add(n.chordRefreshRatio).add(n.singularGminBoost);
 }
 
 } // namespace
@@ -59,20 +94,8 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
         "liberty.points.measured",
         "NLDM grid points measured (one transient each)");
     OTFT_TRACE_SCOPE("liberty.point.measure");
-    ++stat_points;
 
-    cells::BuiltCell cell = instantiate(name, load_cap);
     const double vdd = factory.supply().vdd;
-
-    // Sensitize the side inputs: NAND side pins high, NOR side pins
-    // low, so the output follows (inverted) the driven pin.
-    const bool is_nor = name.rfind("nor", 0) == 0;
-    const double side = is_nor ? 0.0 : vdd;
-    for (std::size_t i = 0; i < cell.inputSources.size(); ++i) {
-        if (static_cast<int>(i) != pin)
-            cell.ckt.setSourceWave(cell.inputSources[i],
-                                   circuit::Pwl::constant(side));
-    }
 
     // Ramp time for the requested 20-80% transition time.
     const double t_edge = slew / (config_.slewHigh - config_.slewLow);
@@ -84,18 +107,67 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
         std::max(8.0 * t_edge, 0.4e-3 * (1.0 + 0.5 * load_mult));
     const double t1 = 15e-6;
     const double t2 = t1 + t_edge + settle;
-    cell.ckt.setSourceWave(
-        cell.inputSources[static_cast<std::size_t>(pin)],
-        circuit::Pwl::points({0.0, t1, t1 + t_edge, t2, t2 + t_edge},
-                             {0.0, 0.0, vdd, vdd, 0.0}));
 
     circuit::TransientConfig config;
     config.dt = std::min(config_.dt * 50.0,
                          std::max(config_.dt, t_edge / 16.0));
     config.tStop = t2 + t_edge + settle;
 
+    // Memoized arc point: the key covers every input of the
+    // measurement, so a hit is the exact result a cold run produces.
+    cache::KeyHasher arc_key;
+    arc_key.add("arcpoint-v1").add(name).add(pin).add(slew);
+    arc_key.add(load_cap);
+    hashMeasurementContext(arc_key, factory, config_, config);
+    std::vector<double> payload;
+    if (config_.useCache &&
+        cache::lookup("liberty.arcpoint", arc_key.digest(), payload) &&
+        payload.size() == 4) {
+        ArcPoint point;
+        point.delayFall = payload[0];
+        point.delayRise = payload[1];
+        point.slewFall = payload[2];
+        point.slewRise = payload[3];
+        return point;
+    }
+    ++stat_points;
+
+    cells::BuiltCell cell = instantiate(name, load_cap);
+
+    // Sensitize the side inputs: NAND side pins high, NOR side pins
+    // low, so the output follows (inverted) the driven pin.
+    const bool is_nor = name.rfind("nor", 0) == 0;
+    const double side = is_nor ? 0.0 : vdd;
+    for (std::size_t i = 0; i < cell.inputSources.size(); ++i) {
+        if (static_cast<int>(i) != pin)
+            cell.ckt.setSourceWave(cell.inputSources[i],
+                                   circuit::Pwl::constant(side));
+    }
+    cell.ckt.setSourceWave(
+        cell.inputSources[static_cast<std::size_t>(pin)],
+        circuit::Pwl::points({0.0, t1, t1 + t_edge, t2, t2 + t_edge},
+                             {0.0, 0.0, vdd, vdd, 0.0}));
+
+    // The t = 0 operating point is shared by every slew at the same
+    // (cell, pin, load), so memoize it too. The cached state is used
+    // verbatim as the initial condition — exactly the bits the cold
+    // DC solve produced.
     circuit::TransientAnalysis tran(cell.ckt);
-    const auto result = tran.run(config);
+    cache::KeyHasher dc_key;
+    dc_key.add("dcop-v1").add(name).add(pin).add(load_cap);
+    hashMeasurementContext(dc_key, factory, config_, config);
+    const std::size_t n_unknowns =
+        cell.ckt.numNodes() - 1 + cell.ckt.voltageSources().size();
+    circuit::Solution x0;
+    if (!(config_.useCache &&
+          cache::lookup("circuit.dcop", dc_key.digest(), x0) &&
+          x0.size() == n_unknowns)) {
+        circuit::DcAnalysis dc(cell.ckt, config.newton);
+        x0 = dc.operatingPoint();
+        if (config_.useCache)
+            cache::store("circuit.dcop", dc_key.digest(), x0);
+    }
+    const auto result = tran.run(config, x0);
     const auto in =
         result.node(cell.inputs[static_cast<std::size_t>(pin)]);
     const auto out = result.node(cell.out);
@@ -119,6 +191,10 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
         fatal("Characterizer: cell ", name, " pin ", pin,
               " failed to switch at slew ", slew, ", load ", load_cap);
     }
+    if (config_.useCache)
+        cache::store("liberty.arcpoint", arc_key.digest(),
+                     {point.delayFall, point.delayRise, point.slewFall,
+                      point.slewRise});
     return point;
 }
 

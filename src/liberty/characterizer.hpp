@@ -30,6 +30,13 @@ struct CharacterizerConfig
     /** Measure slews between these fractions of the swing. */
     double slewLow = 0.2;
     double slewHigh = 0.8;
+    /**
+     * Memoize arc points and operating points in the process-wide
+     * result cache (util/result_cache.hpp). Hits are used verbatim as
+     * results, so output is bit-identical with the cache cold, warm,
+     * or disabled.
+     */
+    bool useCache = true;
 };
 
 /** Characterizes the six-cell organic library. */

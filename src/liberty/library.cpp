@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/result_cache.hpp"
 
 namespace otft::liberty {
 
@@ -50,6 +51,36 @@ bool
 CellLibrary::hasCell(const std::string &name) const
 {
     return cells.count(name) != 0;
+}
+
+std::uint64_t
+CellLibrary::contentHash() const
+{
+    cache::KeyHasher h;
+    h.add("cell-library-v1").add(name_).add(vdd_);
+    h.add(wire_.resPerMeter).add(wire_.capPerMeter);
+    h.add(wire_.lengthBase).add(wire_.lengthPerFanout);
+    h.add(wire_.driverRes);
+    h.add(defaultSlew_).add(clockMargin_);
+
+    const auto add_table = [&](const NldmTable &t) {
+        h.add(t.slewAxis()).add(t.loadAxis()).add(t.values());
+    };
+    for (const std::string &name : order) {
+        const StdCell &c = cells.at(name);
+        h.add(c.name).add(c.fanIn).add(c.isSequential);
+        h.add(c.area).add(c.inputCap).add(c.leakage);
+        h.add(c.flop.clkToQ).add(c.flop.setup).add(c.flop.hold);
+        h.add(c.flop.clockPinCap);
+        for (const TimingArc &arc : c.arcs) {
+            h.add(arc.fromPin);
+            for (int s = 0; s < 2; ++s) {
+                add_table(arc.delay[s]);
+                add_table(arc.outputSlew[s]);
+            }
+        }
+    }
+    return h.digest();
 }
 
 } // namespace otft::liberty

@@ -130,6 +130,15 @@ class CellLibrary
     double clockMargin() const { return clockMargin_; }
     void setClockMargin(double margin) { clockMargin_ = margin; }
 
+    /**
+     * A 64-bit content digest over everything downstream timing can
+     * observe: name, vdd, wire parameters, default slew, clock margin,
+     * and every table value of every cell in insertion order. Two
+     * libraries with equal digests synthesize identically; used to key
+     * memoized design-point evaluations (util/result_cache.hpp).
+     */
+    std::uint64_t contentHash() const;
+
   private:
     std::string name_;
     double vdd_;

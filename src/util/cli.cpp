@@ -9,6 +9,7 @@
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/perf_report.hpp"
+#include "util/result_cache.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
 
@@ -102,6 +103,11 @@ Session::Session(std::string name_in, int &argc, char **argv,
                 fatal("cli: --jobs requires a count");
             jobs_ = parseJobs(argv[i + 1], "--jobs");
             consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            if (!has_value)
+                fatal("cli: --cache-dir requires a directory");
+            cacheDir = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
         } else {
             ++i;
         }
@@ -118,10 +124,21 @@ Session::Session(std::string name_in, int &argc, char **argv,
     if (jobs_ == 0)
         if (const char *env = std::getenv("OTFT_JOBS"))
             jobs_ = parseJobs(env, "OTFT_JOBS");
+    if (cacheDir.empty())
+        if (const char *env = std::getenv("OTFT_CACHE_DIR"))
+            cacheDir = env;
+    // OTFT_CACHE=0 disables memoization entirely (e.g. to benchmark
+    // the uncached paths or bisect a suspected stale-entry problem).
+    if (const char *env = std::getenv("OTFT_CACHE"))
+        if (std::strcmp(env, "0") == 0)
+            cache::ResultCache::instance().setEnabled(false);
 
     if (jobs_ == 0)
         jobs_ = parallel::hardwareJobs();
     parallel::setJobs(jobs_);
+
+    if (!cacheDir.empty())
+        cache::ResultCache::instance().setDirectory(cacheDir);
 
     if (!statsJsonPath.empty())
         validateWritable(statsJsonPath, "--stats-json");
@@ -139,6 +156,11 @@ Session::addFooterField(const std::string &key, double value)
 
 Session::~Session()
 {
+    // Persist memoized results before reporting; flush warns rather
+    // than throws on write failure.
+    if (!cacheDir.empty())
+        cache::ResultCache::instance().flush();
+
     if (!traceJsonPath.empty()) {
         // The path was probed at construction; losing it mid-run
         // (deleted directory, full disk) must not throw from a

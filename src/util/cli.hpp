@@ -10,10 +10,13 @@
  *   --stats               print the stats text table to stderr on exit
  *   --trace-json <path>   collect a Chrome trace_event timeline
  *   --jobs <n>            worker threads for the parallel layers
+ *   --cache-dir <dir>     persist the result cache as JSON under dir
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
  *   OTFT_JOBS=n           same as --jobs
+ *   OTFT_CACHE_DIR=dir    same as --cache-dir
+ *   OTFT_CACHE=0          disable result-cache memoization entirely
  *
  * --jobs must be a positive integer; 0, negative, or non-numeric
  * values are fatal. Values above the hardware concurrency are clamped
@@ -77,6 +80,9 @@ class Session
     /** The worker count installed into parallel::setJobs(). */
     int jobs() const { return jobs_; }
 
+    /** The result-cache persistence directory ("" = memory only). */
+    const std::string &cacheDirectory() const { return cacheDir; }
+
   private:
     std::string name;
     bool footer;
@@ -84,6 +90,7 @@ class Session
     int jobs_ = 0;
     std::string statsJsonPath;
     std::string traceJsonPath;
+    std::string cacheDir;
     std::vector<std::pair<std::string, double>> footerExtras;
     std::int64_t points = 0;
     std::int64_t startNs;

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests of the LTE-controlled adaptive timestep engine: accuracy
+ * against the fixed-step reference, exact breakpoint landing, step
+ * budget reduction, and the [dtMin, dtMax] bounds.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cells/topologies.hpp"
+#include "circuit/transient.hpp"
+#include "util/stats_registry.hpp"
+
+namespace otft::circuit {
+namespace {
+
+Circuit
+rcCircuit(NodeId &out)
+{
+    Circuit ckt;
+    const NodeId in = ckt.addNode("in");
+    out = ckt.addNode("out");
+    ckt.addVoltageSource(in, Circuit::ground,
+                         Pwl::ramp(0.0, 1.0, 1e-4, 1e-6));
+    ckt.addResistor(in, out, 1e4);
+    ckt.addCapacitor(out, Circuit::ground, 1e-7); // RC = 1 ms
+    return ckt;
+}
+
+TEST(AdaptiveTransient, MatchesFixedStepWithinLteTolerance)
+{
+    NodeId out = 0;
+    Circuit adaptive_ckt = rcCircuit(out);
+    Circuit fixed_ckt = rcCircuit(out);
+
+    TransientConfig config;
+    config.dt = 5e-6;
+    config.tStop = 6e-3;
+    // Cap the step so the sampled trace's linear interpolation error
+    // (h^2 v'' / 8) stays well below the solver's own LTE budget;
+    // uncapped growth is exercised by the step-count test below.
+    config.dtMax = 50e-6;
+
+    TransientConfig fixed_config = config;
+    fixed_config.fixedStep = true;
+
+    const auto adaptive = TransientAnalysis(adaptive_ckt).run(config);
+    const auto fixed = TransientAnalysis(fixed_ckt).run(fixed_config);
+    const auto va = adaptive.node(out);
+    const auto vf = fixed.node(out);
+
+    // The documented contract (DESIGN.md): waveforms agree within a
+    // small multiple of lteTol at any sample time.
+    for (double t = 1e-4; t < 6e-3; t += 1e-4)
+        EXPECT_NEAR(va.at(t), vf.at(t), 5.0 * config.lteTol)
+            << "t = " << t;
+}
+
+TEST(AdaptiveTransient, LandsExactlyOnBreakpoints)
+{
+    Circuit ckt;
+    const NodeId in = ckt.addNode("in");
+    ckt.addVoltageSource(in, Circuit::ground,
+                         Pwl::points({0.0, 3.3e-4, 3.4e-4},
+                                     {0.0, 0.0, 1.0}));
+    ckt.addResistor(in, Circuit::ground, 100.0);
+
+    TransientConfig config;
+    config.dt = 1e-4; // breakpoints fall between nominal steps
+    config.tStop = 1e-3;
+    const auto result = TransientAnalysis(ckt).run(config);
+    const auto &times = result.time();
+
+    // The breakpoints and tStop are solver steps, exactly.
+    for (double bp : {3.3e-4, 3.4e-4, 1e-3})
+        EXPECT_NE(std::find(times.begin(), times.end(), bp),
+                  times.end())
+            << "breakpoint " << bp << " not hit exactly";
+
+    const auto v = result.node(in);
+    EXPECT_NEAR(v.at(3.3e-4), 0.0, 1e-9);
+    EXPECT_NEAR(v.at(3.4e-4), 1.0, 1e-9);
+}
+
+TEST(AdaptiveTransient, UsesFarFewerStepsOnSettledWaveforms)
+{
+    NodeId out = 0;
+    Circuit adaptive_ckt = rcCircuit(out);
+    Circuit fixed_ckt = rcCircuit(out);
+
+    TransientConfig config;
+    config.dt = 5e-6;
+    config.tStop = 6e-3;
+    TransientConfig fixed_config = config;
+    fixed_config.fixedStep = true;
+
+    const auto adaptive = TransientAnalysis(adaptive_ckt).run(config);
+    const auto fixed = TransientAnalysis(fixed_ckt).run(fixed_config);
+    // The exponential tail is quiescent; LTE control must grow the
+    // step well past dt. 3x is conservative (typically ~10x+).
+    EXPECT_LT(adaptive.time().size() * 3, fixed.time().size());
+    EXPECT_GT(adaptive.time().size(), 10u);
+}
+
+TEST(AdaptiveTransient, RespectsStepBounds)
+{
+    NodeId out = 0;
+    Circuit ckt = rcCircuit(out);
+    TransientConfig config;
+    config.dt = 5e-6;
+    config.tStop = 2e-3;
+    config.dtMin = 2e-6;
+    config.dtMax = 40e-6;
+    const auto result = TransientAnalysis(ckt).run(config);
+    const auto &times = result.time();
+    ASSERT_GT(times.size(), 2u);
+    for (std::size_t k = 1; k < times.size(); ++k) {
+        const double h = times[k] - times[k - 1];
+        EXPECT_GT(h, 0.0);
+        // Landing steps may undershoot dtMin to hit a breakpoint;
+        // nothing may exceed dtMax.
+        EXPECT_LE(h, config.dtMax * (1.0 + 1e-12));
+    }
+}
+
+TEST(AdaptiveTransient, RejectionCounterMovesOnSharpEdges)
+{
+    stats::Counter &rejections = stats::counter(
+        "circuit.transient.lte_rejections",
+        "adaptive steps rejected for excess local truncation error");
+    const std::uint64_t before = rejections.value();
+
+    // A fast edge into a slow RC forces the controller to cut steps
+    // right after the breakpoint resets.
+    Circuit ckt;
+    const NodeId in = ckt.addNode("in");
+    const NodeId out = ckt.addNode("out");
+    ckt.addVoltageSource(in, Circuit::ground,
+                         Pwl::pulse(0.0, 5.0, 1e-4, 1e-6, 4e-4));
+    ckt.addResistor(in, out, 1e3);
+    ckt.addCapacitor(out, Circuit::ground, 1e-7);
+    TransientConfig config;
+    config.dt = 2e-5;
+    config.tStop = 1.5e-3;
+    config.lteTol = 1e-4; // tight budget to provoke rejections
+    (void)TransientAnalysis(ckt).run(config);
+    EXPECT_GT(rejections.value(), before);
+}
+
+/**
+ * The paper's cell testbenches (fig06/fig08 inverter flavors): the
+ * adaptive default must reproduce fixed-step switching waveforms
+ * within the documented tolerance.
+ */
+TEST(AdaptiveTransient, InverterDelaysMatchFixedStep)
+{
+    for (const auto kind :
+         {cells::InverterKind::PseudoE, cells::InverterKind::BiasedLoad}) {
+        cells::CellFactory factory;
+        const auto run_mode = [&](bool fixed) {
+            cells::BuiltCell cell =
+                factory.inverter(kind, 4.0 * factory.inputCap());
+            cell.ckt.setSourceWave(
+                cell.inputSources[0],
+                Pwl::pulse(0.0, cell.supply.vdd, 20e-6, 4e-6, 60e-6));
+            TransientConfig config;
+            config.tStop = 160e-6;
+            config.dt = 0.5e-6;
+            config.fixedStep = fixed;
+            const auto result =
+                TransientAnalysis(cell.ckt).run(config);
+            return result.node(cell.out);
+        };
+        const Trace adaptive = run_mode(false);
+        const Trace fixed = run_mode(true);
+        const double vdd = cells::SupplyConfig{}.vdd;
+        for (double t = 0.0; t < 160e-6; t += 2e-6)
+            EXPECT_NEAR(adaptive.at(t), fixed.at(t), 0.02 * vdd)
+                << cells::toString(kind) << " at t = " << t;
+    }
+}
+
+} // namespace
+} // namespace otft::circuit

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the content-addressed result cache: key hashing,
+ * LRU behavior, enable/disable semantics, JSON persistence
+ * round-trips, and resilience against mangled cache files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result_cache.hpp"
+
+namespace otft::cache {
+namespace {
+
+/**
+ * The cache under test is the process-wide singleton; each fixture
+ * run starts from a clean, memory-only configuration and restores it
+ * afterwards so the other test_util suites never see leftovers.
+ */
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto &c = ResultCache::instance();
+        c.setEnabled(true);
+        c.setCapacity(65536);
+        c.clear();
+    }
+
+    void
+    TearDown() override
+    {
+        auto &c = ResultCache::instance();
+        c.setDirectory("");
+        c.setEnabled(true);
+        c.setCapacity(65536);
+        c.clear();
+        if (!tempDir.empty())
+            std::filesystem::remove_all(tempDir);
+    }
+
+    /** A fresh per-test scratch directory. */
+    std::string
+    makeTempDir(const std::string &tag)
+    {
+        const auto dir = std::filesystem::temp_directory_path() /
+                         ("otft_cache_test_" + tag);
+        std::filesystem::remove_all(dir);
+        tempDir = dir.string();
+        return tempDir;
+    }
+
+    std::string tempDir;
+};
+
+TEST_F(ResultCacheTest, KeyHasherSeparatesInputs)
+{
+    const auto digest_of = [](auto &&fill) {
+        KeyHasher h;
+        fill(h);
+        return h.digest();
+    };
+    const std::uint64_t a =
+        digest_of([](KeyHasher &h) { h.add("salt").add(1.0); });
+    const std::uint64_t b =
+        digest_of([](KeyHasher &h) { h.add("salt").add(2.0); });
+    const std::uint64_t c =
+        digest_of([](KeyHasher &h) { h.add("tlas").add(1.0); });
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+
+    // Same content, same digest.
+    EXPECT_EQ(digest_of([](KeyHasher &h) { h.add("salt").add(1.0); }),
+              a);
+}
+
+TEST_F(ResultCacheTest, KeyHasherNormalizesNegativeZero)
+{
+    KeyHasher pos, neg;
+    pos.add(0.0);
+    neg.add(-0.0);
+    EXPECT_EQ(pos.digest(), neg.digest());
+}
+
+TEST_F(ResultCacheTest, KeyHasherLengthPrefixPreventsSplicing)
+{
+    // "ab" + "c" must not collide with "a" + "bc".
+    KeyHasher split_a, split_b;
+    split_a.add("ab").add("c");
+    split_b.add("a").add("bc");
+    EXPECT_NE(split_a.digest(), split_b.digest());
+
+    // Vector boundaries are prefixed the same way.
+    KeyHasher vec_a, vec_b;
+    vec_a.add(std::vector<double>{1.0, 2.0}).add(
+        std::vector<double>{3.0});
+    vec_b.add(std::vector<double>{1.0}).add(
+        std::vector<double>{2.0, 3.0});
+    EXPECT_NE(vec_a.digest(), vec_b.digest());
+}
+
+TEST_F(ResultCacheTest, StoreThenLookupRoundTrips)
+{
+    auto &c = ResultCache::instance();
+    const std::vector<double> payload = {1.5, -2.25, 3.0e-300};
+    c.store("test.domain", 42, payload);
+
+    std::vector<double> out;
+    ASSERT_TRUE(c.lookup("test.domain", 42, out));
+    EXPECT_EQ(out, payload);
+
+    // Different key or domain: miss.
+    EXPECT_FALSE(c.lookup("test.domain", 43, out));
+    EXPECT_FALSE(c.lookup("other.domain", 42, out));
+}
+
+TEST_F(ResultCacheTest, StoreOverwritesExistingEntry)
+{
+    auto &c = ResultCache::instance();
+    c.store("test.domain", 7, {1.0});
+    c.store("test.domain", 7, {2.0});
+    EXPECT_EQ(c.size(), 1u);
+    std::vector<double> out;
+    ASSERT_TRUE(c.lookup("test.domain", 7, out));
+    EXPECT_EQ(out, std::vector<double>({2.0}));
+}
+
+TEST_F(ResultCacheTest, LruEvictsOldestAtCapacity)
+{
+    auto &c = ResultCache::instance();
+    c.setCapacity(3);
+    c.store("d", 1, {1.0});
+    c.store("d", 2, {2.0});
+    c.store("d", 3, {3.0});
+
+    // Touch key 1 so key 2 becomes the LRU victim.
+    std::vector<double> out;
+    ASSERT_TRUE(c.lookup("d", 1, out));
+    c.store("d", 4, {4.0});
+
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_TRUE(c.lookup("d", 1, out));
+    EXPECT_FALSE(c.lookup("d", 2, out));
+    EXPECT_TRUE(c.lookup("d", 3, out));
+    EXPECT_TRUE(c.lookup("d", 4, out));
+}
+
+TEST_F(ResultCacheTest, ShrinkingCapacityEvictsImmediately)
+{
+    auto &c = ResultCache::instance();
+    for (std::uint64_t k = 0; k < 10; ++k)
+        c.store("d", k, {static_cast<double>(k)});
+    c.setCapacity(2);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST_F(ResultCacheTest, DisabledCacheMissesAndDropsStores)
+{
+    auto &c = ResultCache::instance();
+    c.store("d", 1, {1.0});
+    c.setEnabled(false);
+
+    std::vector<double> out;
+    EXPECT_FALSE(c.lookup("d", 1, out));
+    c.store("d", 2, {2.0});
+
+    // Entries stored while enabled survive a disable/enable cycle.
+    c.setEnabled(true);
+    EXPECT_TRUE(c.lookup("d", 1, out));
+    EXPECT_FALSE(c.lookup("d", 2, out));
+}
+
+TEST_F(ResultCacheTest, PersistenceRoundTripsExactBits)
+{
+    const std::string dir = makeTempDir("roundtrip");
+    auto &c = ResultCache::instance();
+    c.setDirectory(dir);
+
+    // Values chosen to stress %.17g round-tripping.
+    const std::vector<double> payload = {
+        0.1, 1.0 / 3.0, 6.02214076e23, -2.2250738585072014e-308};
+    c.store("liberty.arcpoint", 0xdeadbeefull, payload);
+    c.flush();
+
+    // Reload into a cold cache.
+    c.clear();
+    c.setDirectory(dir);
+    std::vector<double> out;
+    ASSERT_TRUE(c.lookup("liberty.arcpoint", 0xdeadbeefull, out));
+    ASSERT_EQ(out.size(), payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        EXPECT_EQ(out[i], payload[i]) << "index " << i;
+}
+
+TEST_F(ResultCacheTest, CorruptCacheFilesAreIgnoredNotFatal)
+{
+    const std::string dir = makeTempDir("corrupt");
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/result_cache.json";
+
+    // Fuzz-ish set of mangled files: none may throw, all must leave
+    // the cache empty and usable.
+    const char *variants[] = {
+        "",                                       // empty file
+        "{",                                      // truncated object
+        "not json at all",                        // garbage
+        "[1, 2, 3]",                              // wrong top type
+        "{\"schema\": \"something-else\"}",       // wrong schema
+        "{\"schema\": \"otft-result-cache-1\", "
+        "\"entries\": {\"d:0\": [1.0, ",          // truncated entry
+        "{\"schema\": \"otft-result-cache-1\", "
+        "\"entries\": {\"d:0\": \"oops\"}}",      // non-array payload
+        "{\"schema\": \"otft-result-cache-1\", "
+        "\"entries\": {\"d:0\": [true, null]}}",  // non-numeric items
+    };
+    auto &c = ResultCache::instance();
+    for (const char *text : variants) {
+        {
+            std::ofstream os(path);
+            os << text;
+        }
+        c.setDirectory("");
+        c.clear();
+        EXPECT_NO_THROW(c.setDirectory(dir)) << "input: " << text;
+        EXPECT_EQ(c.size(), 0u) << "input: " << text;
+
+        // The cache must stay fully usable afterwards.
+        c.store("d", 9, {9.0});
+        std::vector<double> out;
+        EXPECT_TRUE(c.lookup("d", 9, out));
+        c.clear();
+    }
+}
+
+TEST_F(ResultCacheTest, MalformedEntriesSkippedGoodOnesKept)
+{
+    const std::string dir = makeTempDir("partial");
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream os(dir + "/result_cache.json");
+        os << "{\"schema\": \"otft-result-cache-1\", \"entries\": {"
+           << "\"d:0000000000000001\": [1.5], "
+           << "\"d:0000000000000002\": \"bad\", "
+           << "\"d:0000000000000003\": [3.5, 4.5]}}";
+    }
+    auto &c = ResultCache::instance();
+    c.setDirectory(dir);
+    EXPECT_EQ(c.size(), 2u);
+    std::vector<double> out;
+    EXPECT_TRUE(c.lookup("d", 1, out));
+    EXPECT_EQ(out, std::vector<double>({1.5}));
+    EXPECT_FALSE(c.lookup("d", 2, out));
+    EXPECT_TRUE(c.lookup("d", 3, out));
+    EXPECT_EQ(out, std::vector<double>({3.5, 4.5}));
+}
+
+TEST_F(ResultCacheTest, FreeFunctionsUseTheSingleton)
+{
+    store("free.fn", 5, {5.5});
+    std::vector<double> out;
+    EXPECT_TRUE(lookup("free.fn", 5, out));
+    EXPECT_EQ(out, std::vector<double>({5.5}));
+    EXPECT_EQ(ResultCache::instance().size(), 1u);
+}
+
+} // namespace
+} // namespace otft::cache
