@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Forensics replay debugger for solver failure dumps, plus validation
+ * modes for the other diagnostics artifacts (used by
+ * `scripts/verify.sh --diag`).
+ *
+ * Usage:
+ *   diag_replay DUMP.json
+ *       Rebuild the dumped circuit and re-run the failing solve with
+ *       full per-iteration logging. Prints the iteration table and a
+ *       REPRODUCED/DIVERGED verdict: the replayed iterations must match
+ *       the dump's recorded trace bit for bit.
+ *   diag_replay --check-diag FILE.json
+ *       Validate a --diag-json telemetry document (schema, contexts).
+ *   diag_replay --check-metrics FILE.jsonl
+ *       Validate a --metrics-jsonl stream (schema, monotonic seq/t_ms).
+ *
+ * Exit codes: 0 reproduced / valid, 1 diverged / invalid, 2 usage or
+ * I/O error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/dump.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/metrics_stream.hpp"
+
+using namespace otft;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: diag_replay DUMP.json\n"
+                 "       diag_replay --check-diag FILE.json\n"
+                 "       diag_replay --check-metrics FILE.jsonl\n");
+}
+
+/** Bitwise double equality that treats NaN as equal to NaN. */
+bool
+sameBits(double a, double b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return a == b && std::signbit(a) == std::signbit(b);
+}
+
+int
+replay(const std::string &path)
+{
+    const auto dump = circuit::dump::readFailureDump(path);
+    std::printf("dump:      %s\n", path.c_str());
+    std::printf("reason:    %s\n", dump.reason.c_str());
+    std::printf("context:   %s\n", dump.context.empty()
+                                       ? "(unlabeled)"
+                                       : dump.context.c_str());
+    std::printf("solve:     %s at t = %g s (dt = %g s, scale = %g)\n",
+                diag::toString(dump.kind), dump.time, dump.dt,
+                dump.sourceScale);
+    std::printf("circuit:   %zu nodes, %zu FETs, %zu R, %zu C, "
+                "%zu V, %zu I\n",
+                dump.circuit.numNodes(), dump.circuit.fets().size(),
+                dump.circuit.resistors().size(),
+                dump.circuit.capacitors().size(),
+                dump.circuit.voltageSources().size(),
+                dump.circuit.currentSources().size());
+    for (const auto &[key, value] : dump.attributes)
+        std::printf("attribute: %s = %.17g\n", key.c_str(), value);
+
+    const auto result = circuit::dump::replayDump(dump);
+    std::printf("\nreplay:    %s after %zu iteration(s)\n",
+                result.converged ? "converged" : "failed",
+                result.trace.size());
+
+    // The dump's ring holds the last <= 64 iterations before the
+    // failure; line it up against the tail of the full replay trace.
+    const std::size_t n_dump = dump.trace.size();
+    const std::size_t n_replay = result.trace.size();
+    const std::size_t offset =
+        n_replay >= n_dump ? n_replay - n_dump : 0;
+
+    std::printf("\n%6s  %23s  %23s  %6s  %s\n", "iter", "residual",
+                "max_update", "mode", "match");
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < n_replay; ++i) {
+        const auto &r = result.trace[i];
+        const char *match = "";
+        if (i >= offset && n_dump > 0) {
+            const auto &d = dump.trace[i - offset];
+            const bool ok = d.iteration == r.iteration &&
+                            sameBits(d.residualNorm, r.residualNorm) &&
+                            sameBits(d.maxUpdate, r.maxUpdate) &&
+                            d.chord == r.chord;
+            match = ok ? "ok" : "MISMATCH";
+            if (!ok)
+                ++mismatches;
+        }
+        std::printf("%6d  %23.17g  %23.17g  %6s  %s\n", r.iteration,
+                    r.residualNorm, r.maxUpdate,
+                    r.chord ? "chord" : "full", match);
+    }
+
+    if (n_dump == 0) {
+        // Dumps written outside the Newton kernel (e.g. the transient
+        // LTE budget guard) carry no iteration ring; there is nothing
+        // to cross-check, so report the replay outcome only.
+        std::printf("\nno recorded trace in dump; replay ran %zu "
+                    "iteration(s)\n",
+                    n_replay);
+        return 0;
+    }
+    if (n_replay < n_dump) {
+        std::printf("\nDIVERGED: replay ran %zu iteration(s), dump "
+                    "recorded %zu\n",
+                    n_replay, n_dump);
+        return 1;
+    }
+    if (mismatches > 0) {
+        std::printf("\nDIVERGED: %zu of %zu overlapping iteration(s) "
+                    "differ\n",
+                    mismatches, n_dump);
+        return 1;
+    }
+    std::printf("\nREPRODUCED: all %zu overlapping iteration(s) match "
+                "bit for bit\n",
+                n_dump);
+    return 0;
+}
+
+int
+checkDiag(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("diag_replay: cannot read ", path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const json::Value doc = json::parse(buffer.str());
+    if (!doc.isObject() || doc.string("schema") != diag::diagSchema) {
+        std::fprintf(stderr,
+                     "diag_replay: %s is not an %s document\n",
+                     path.c_str(), diag::diagSchema);
+        return 1;
+    }
+    if (!doc.has("contexts") || !doc.at("contexts").isObject()) {
+        std::fprintf(stderr, "diag_replay: %s lacks a contexts map\n",
+                     path.c_str());
+        return 1;
+    }
+    std::uint64_t solves = 0;
+    for (const auto &[name, stats] : doc.at("contexts").asObject()) {
+        if (!stats.isObject()) {
+            std::fprintf(stderr,
+                         "diag_replay: context '%s' is not an object\n",
+                         name.c_str());
+            return 1;
+        }
+        solves += static_cast<std::uint64_t>(stats.number("solves"));
+    }
+    const std::size_t dumps =
+        doc.has("dumps") ? doc.at("dumps").asArray().size() : 0;
+    std::printf("diag ok: %zu context(s), %llu solve(s), %zu dump(s)\n",
+                doc.at("contexts").asObject().size(),
+                static_cast<unsigned long long>(solves), dumps);
+    return 0;
+}
+
+int
+checkMetrics(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("diag_replay: cannot read ", path);
+    std::string line;
+    std::size_t n_samples = 0;
+    double last_t = -1.0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const json::Value doc = json::parse(line);
+        if (!doc.isObject() ||
+            doc.string("schema") != metrics::metricsSchema) {
+            std::fprintf(stderr,
+                         "diag_replay: %s line %zu is not an %s "
+                         "sample\n",
+                         path.c_str(), n_samples + 1,
+                         metrics::metricsSchema);
+            return 1;
+        }
+        const double seq = doc.number("seq", -1.0);
+        if (seq != static_cast<double>(n_samples)) {
+            std::fprintf(stderr,
+                         "diag_replay: %s line %zu has seq %g, "
+                         "expected %zu\n",
+                         path.c_str(), n_samples + 1, seq, n_samples);
+            return 1;
+        }
+        const double t_ms = doc.number("t_ms", -1.0);
+        if (t_ms < last_t) {
+            std::fprintf(stderr,
+                         "diag_replay: %s line %zu time went "
+                         "backwards (%g < %g)\n",
+                         path.c_str(), n_samples + 1, t_ms, last_t);
+            return 1;
+        }
+        if (!doc.has("scalars") || !doc.at("scalars").isObject()) {
+            std::fprintf(stderr,
+                         "diag_replay: %s line %zu lacks a scalars "
+                         "map\n",
+                         path.c_str(), n_samples + 1);
+            return 1;
+        }
+        last_t = t_ms;
+        ++n_samples;
+    }
+    if (n_samples < 2) {
+        // The sampler always writes a baseline sample at start and a
+        // final sample at stop, so anything under two means the stream
+        // was truncated.
+        std::fprintf(stderr,
+                     "diag_replay: %s holds %zu sample(s), expected "
+                     ">= 2\n",
+                     path.c_str(), n_samples);
+        return 1;
+    }
+    std::printf("metrics ok: %zu sample(s) over %.1f ms\n", n_samples,
+                last_t);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc == 3 && std::strcmp(argv[1], "--check-diag") == 0)
+            return checkDiag(argv[2]);
+        if (argc == 3 && std::strcmp(argv[1], "--check-metrics") == 0)
+            return checkMetrics(argv[2]);
+        if (argc == 2 && argv[1][0] != '-')
+            return replay(argv[1]);
+        usage();
+        return 2;
+    } catch (const FatalError &) {
+        return 2;
+    }
+}

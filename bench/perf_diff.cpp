@@ -8,7 +8,10 @@
  * Usage:
  *   perf_diff BASELINE.json CURRENT.json
  *             [--threshold F] [--mad-k F] [--abs-floor SECONDS]
- *             [--counter-threshold F]
+ *             [--counter-threshold F] [--markdown]
+ *
+ * --markdown renders the table as GitHub-flavored markdown (for PR
+ * comments / CI job summaries) instead of the aligned text table.
  *
  * Exit codes: 0 no regressions, 1 regressions past the gate,
  * 2 usage or I/O error.
@@ -35,7 +38,8 @@ usage()
         stderr,
         "usage: perf_diff BASELINE.json CURRENT.json\n"
         "                 [--threshold F] [--mad-k F]\n"
-        "                 [--abs-floor SECONDS] [--counter-threshold F]\n");
+        "                 [--abs-floor SECONDS] [--counter-threshold F]\n"
+        "                 [--markdown]\n");
 }
 
 double
@@ -66,6 +70,7 @@ main(int argc, char **argv)
     std::string baseline_path;
     std::string current_path;
     perf::DiffOptions options;
+    bool markdown = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -82,6 +87,8 @@ main(int argc, char **argv)
                    has_value) {
             options.counterThreshold =
                 parseNumber(argv[++i], "--counter-threshold");
+        } else if (std::strcmp(arg, "--markdown") == 0) {
+            markdown = true;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -107,7 +114,10 @@ main(int argc, char **argv)
                    current.env.gitSha);
         const auto diff =
             perf::diffReports(baseline, current, options);
-        perf::renderDiff(diff, std::cout);
+        if (markdown)
+            perf::renderDiffMarkdown(diff, std::cout);
+        else
+            perf::renderDiff(diff, std::cout);
         return diff.regressions > 0 ? 1 : 0;
     } catch (const FatalError &) {
         return 2;

@@ -3,7 +3,7 @@
 # the tier1-labelled test suite. This is the gate every change must
 # pass; CI runs exactly this script.
 #
-# Usage: scripts/verify.sh [--tsan|--asan|--bench] [build-dir]
+# Usage: scripts/verify.sh [--tsan|--asan|--bench|--diag] [build-dir]
 #
 #   --tsan   build with -fsanitize=thread into <build-dir>-tsan and
 #            run the concurrency-labelled tests under it
@@ -13,6 +13,11 @@
 #            the committed bench-results/BENCH_seed.json baseline
 #            (informational timings, hard-fails only on crashes or a
 #            malformed report). Off by default; tier-1 stays perf-free.
+#   --diag   observability smoke lane: run a short perf_suite pass
+#            with --diag-json and --metrics-jsonl enabled, then
+#            validate both artifacts with `diag_replay --check-diag`
+#            and `diag_replay --check-metrics`. Catches bit-rot in the
+#            telemetry plumbing without touching tier-1.
 #
 # The sanitizer lanes keep their own build trees so the default tree
 # stays warm for the plain gate.
@@ -22,6 +27,7 @@ SANITIZE=""
 LANE_SUFFIX=""
 TEST_LABEL="tier1"
 PERF_SMOKE=0
+DIAG_SMOKE=0
 if [[ "${1:-}" == "--tsan" ]]; then
     SANITIZE="thread"
     LANE_SUFFIX="-tsan"
@@ -33,6 +39,9 @@ elif [[ "${1:-}" == "--asan" ]]; then
     shift
 elif [[ "${1:-}" == "--bench" ]]; then
     PERF_SMOKE=1
+    shift
+elif [[ "${1:-}" == "--diag" ]]; then
+    DIAG_SMOKE=1
     shift
 fi
 
@@ -61,6 +70,24 @@ if [[ "${PERF_SMOKE}" == "1" ]]; then
     else
         echo "warning: ${BASELINE} missing; recorded smoke run only"
     fi
+    exit 0
+fi
+
+if [[ "${DIAG_SMOKE}" == "1" ]]; then
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+        --target perf_suite diag_replay
+    DIAG_OUT="${BUILD_DIR}/diag_smoke.json"
+    METRICS_OUT="${BUILD_DIR}/metrics_smoke.jsonl"
+    # A short circuit-only pass with the full observability stack on;
+    # a fast metrics period guarantees the sampler thread actually
+    # wakes up during the run.
+    "${BUILD_DIR}/bench/perf_suite" --reps 1 --warmup 0 \
+        --filter circuit \
+        --diag-json "${DIAG_OUT}" \
+        --metrics-jsonl "${METRICS_OUT}" --metrics-period-ms 20
+    "${BUILD_DIR}/bench/diag_replay" --check-diag "${DIAG_OUT}"
+    "${BUILD_DIR}/bench/diag_replay" --check-metrics "${METRICS_OUT}"
+    echo "diag lane ok"
     exit 0
 fi
 

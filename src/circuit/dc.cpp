@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/diag.hpp"
 #include "util/logging.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -37,6 +38,7 @@ DcAnalysis::operatingPoint(const Solution &initial_guess) const
     if (mna.solveNewton(x, 0.0, 1.0, 0.0, nullptr))
         return x;
     ++stat_source_step;
+    diag::recordEvent(diag::Event::SourceStepping);
 
     // Source-stepping homotopy: ramp all sources from zero with a
     // quadratic schedule (fine steps near zero, where strongly
@@ -60,6 +62,7 @@ DcAnalysis::operatingPoint(const Solution &initial_guess) const
     // configured gmin, warm starting throughout — the same
     // continuation SPICE uses when source stepping fails.
     ++stat_gmin_step;
+    diag::recordEvent(diag::Event::GminStepping);
     x = mna.zeroSolution();
     NewtonConfig relaxed = mna.config();
     bool have_solution = false;

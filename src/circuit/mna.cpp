@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/dump.hpp"
 #include "util/logging.hpp"
 #include "util/stats_registry.hpp"
 
@@ -167,6 +168,14 @@ bool
 Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
                  const Solution *x_prev) const
 {
+    return solveNewton(x, time, source_scale, dt, x_prev, nullptr);
+}
+
+bool
+Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
+                 const Solution *x_prev,
+                 NewtonTelemetry *telemetry) const
+{
     if (x.size() != unknowns)
         fatal("Mna::solveNewton: bad solution vector size");
 
@@ -203,6 +212,18 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
     ++stat_solves;
     stats::ScopedTimer timer(stat_time);
 
+    const diag::SolveKind solve_kind = dt > 0.0
+                                           ? diag::SolveKind::TransientStep
+                                           : diag::SolveKind::Dc;
+    diag::SolveProbe probe(solve_kind);
+    const bool observing = probe.active() || telemetry != nullptr;
+
+    // Forensics dumps need the iterate the solve *started* from; copy
+    // it up front only when a failure here would actually dump.
+    Solution x0;
+    if (probe.wantsDump())
+        x0 = x;
+
     Matrix jac(unknowns);
     LuFactors lu;
     std::vector<double> residual(unknowns, 0.0);
@@ -217,27 +238,54 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
         if (cfg.singularGminBoost <= 0.0)
             return false;
         ++stat_singular_recoveries;
+        probe.singularRecovery();
+        if (telemetry != nullptr)
+            ++telemetry->singularRecoveries;
         for (std::size_t n = 0; n < numNodeUnknowns; ++n)
             jac.at(n, n) += cfg.singularGminBoost;
         return lu.factor(jac);
+    };
+
+    // On failure, register the forensics artifact (a no-op unless
+    // --diag-dir is configured and the dump cap allows it).
+    const auto dump_failure = [&](const char *reason) {
+        if (!probe.wantsDump())
+            return;
+        dump::writeFailureDump(ckt, cfg, x0, solve_kind, time,
+                               source_scale, dt, x_prev, reason,
+                               probe.trace());
     };
 
     double prev_update = 0.0;
     bool refresh = true;
     for (int iter = 0; iter < cfg.maxIterations; ++iter) {
         ++stat_iters;
+        bool chord_iter = false;
         if (refresh || !cfg.chord) {
             if (!refactor()) {
                 ++stat_failures;
+                dump_failure("jacobian_singular");
+                probe.finish(false);
+                if (telemetry != nullptr)
+                    telemetry->converged = false;
                 return false;
             }
             refresh = false;
         } else {
             // Chord iteration: new residual against frozen factors.
             ++stat_chord_iters;
+            chord_iter = true;
             assemble(x, time, source_scale, dt, x_prev, nullptr,
                      residual);
         }
+
+        // Residual inf-norm at the iterate (observability only; the
+        // O(n) scan is skipped entirely on unobserved solves).
+        double residual_norm = 0.0;
+        if (observing)
+            for (std::size_t i = 0; i < unknowns; ++i)
+                residual_norm =
+                    std::max(residual_norm, std::abs(residual[i]));
 
         // Solve J * delta = residual; update is x -= delta.
         std::vector<double> delta = residual;
@@ -253,8 +301,20 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
             if (i < numNodeUnknowns)
                 max_update = std::max(max_update, std::abs(step));
         }
+
+        if (observing) {
+            probe.iteration(iter, residual_norm, max_update,
+                            chord_iter);
+            if (telemetry != nullptr)
+                telemetry->samples.push_back(
+                    {iter, residual_norm, max_update, chord_iter});
+        }
+
         if (max_update < cfg.tolerance) {
             stat_iter_hist.sample(static_cast<double>(iter + 1));
+            probe.finish(true);
+            if (telemetry != nullptr)
+                telemetry->converged = true;
             return true;
         }
 
@@ -264,10 +324,17 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
             max_update > cfg.chordRefreshRatio * prev_update) {
             refresh = true;
             ++stat_refreshes;
+            probe.jacobianRefresh();
+            if (telemetry != nullptr)
+                ++telemetry->jacobianRefreshes;
         }
         prev_update = max_update;
     }
     ++stat_failures;
+    dump_failure("newton_max_iterations");
+    probe.finish(false);
+    if (telemetry != nullptr)
+        telemetry->converged = false;
     return false;
 }
 

@@ -16,6 +16,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/linear_solver.hpp"
+#include "util/diag.hpp"
 
 namespace otft::circuit {
 
@@ -56,6 +57,21 @@ struct NewtonConfig
 /** A solution vector (node voltages + source branch currents). */
 using Solution = std::vector<double>;
 
+/**
+ * Full per-iteration telemetry for one Newton solve, filled when a
+ * caller passes it to solveNewton(). Unlike the diag::SolveProbe ring
+ * (last 64 iterations, published to the process-wide collector), this
+ * keeps every iteration and stays local to the caller — diag_replay
+ * uses it to print the complete convergence history of a dumped solve.
+ */
+struct NewtonTelemetry
+{
+    std::vector<diag::IterationSample> samples;
+    int jacobianRefreshes = 0;
+    int singularRecoveries = 0;
+    bool converged = false;
+};
+
 /** The assembled MNA problem for one circuit. */
 class Mna
 {
@@ -82,6 +98,15 @@ class Mna
      */
     bool solveNewton(Solution &x, double time, double source_scale,
                      double dt, const Solution *x_prev) const;
+
+    /**
+     * As above, additionally filling `telemetry` (when non-null) with
+     * every iteration's residual/update norms and chord decision. The
+     * iteration sequence is unchanged — telemetry only observes.
+     */
+    bool solveNewton(Solution &x, double time, double source_scale,
+                     double dt, const Solution *x_prev,
+                     NewtonTelemetry *telemetry) const;
 
     /** Voltage of a node in a solution. */
     double nodeVoltage(const Solution &x, NodeId node) const;

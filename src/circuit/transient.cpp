@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "circuit/dump.hpp"
+#include "util/diag.hpp"
 #include "util/logging.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -161,6 +163,7 @@ TransientAnalysis::runFixed(const TransientConfig &config, Mna &mna,
         Solution x_next = x;
         if (!mna.solveNewton(x_next, t, 1.0, h, &x)) {
             ++statRetries();
+            diag::recordEvent(diag::Event::NewtonRetry);
             // Retry with the step halved (two sub-steps).
             const double t_mid = times[k - 1] + 0.5 * h;
             Solution x_mid = x;
@@ -173,6 +176,7 @@ TransientAnalysis::runFixed(const TransientConfig &config, Mna &mna,
                       " s even after step halving");
             }
         }
+        diag::recordEvent(diag::Event::StepAccept);
         x = std::move(x_next);
         record(x);
     }
@@ -258,9 +262,16 @@ TransientAnalysis::runAdaptive(const TransientConfig &config, Mna &mna,
     bool have_history = false;
 
     while (t < config.tStop && next_stop < stops.size()) {
-        if (++attempts > max_attempts)
+        if (++attempts > max_attempts) {
+            // LTE budget exhausted: a reject/shrink loop that never
+            // advances. Leave a forensics artifact before bailing.
+            dump::writeFailureDump(
+                ckt, config.newton, x, diag::SolveKind::TransientStep,
+                t, 1.0, h, have_history ? &x_before : nullptr,
+                "transient_lte_budget", {});
             fatal("TransientAnalysis: adaptive stepping stalled at t = ",
                   t, " s");
+        }
 
         // Land exactly on the next mandatory stop time.
         const double bp = stops[next_stop];
@@ -275,6 +286,7 @@ TransientAnalysis::runAdaptive(const TransientConfig &config, Mna &mna,
         Solution x_new = x;
         if (!mna.solveNewton(x_new, t_new, 1.0, h, &x)) {
             ++statRetries();
+            diag::recordEvent(diag::Event::NewtonRetry);
             if (h <= dt_min * 1.0000001)
                 fatal("TransientAnalysis: Newton failed at t = ", t_new,
                       " s with the minimum step");
@@ -295,6 +307,7 @@ TransientAnalysis::runAdaptive(const TransientConfig &config, Mna &mna,
             }
             if (err > config.lteTol && h > dt_min * 1.0000001) {
                 ++stat_rejections;
+                diag::recordEvent(diag::Event::StepReject);
                 const double shrink = std::max(
                     0.3, 0.9 * std::sqrt(config.lteTol / err));
                 h = std::max(dt_min, h * shrink);
@@ -306,6 +319,7 @@ TransientAnalysis::runAdaptive(const TransientConfig &config, Mna &mna,
         }
 
         // Accept.
+        diag::recordEvent(diag::Event::StepAccept);
         x_before = std::move(x);
         x = std::move(x_new);
         h_prev = h;

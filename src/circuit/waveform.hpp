@@ -44,6 +44,9 @@ class Pwl
     /** Breakpoint times (used by solvers to align time steps). */
     const std::vector<double> &breakpoints() const { return ts; }
 
+    /** Breakpoint values, parallel to breakpoints() (serialization). */
+    const std::vector<double> &values() const { return vs; }
+
   private:
     std::vector<double> ts;
     std::vector<double> vs;

@@ -2,8 +2,10 @@
 
 #include "core/blocks.hpp"
 #include "netlist/bufferize.hpp"
+#include "util/diag.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/progress.hpp"
 #include "util/result_cache.hpp"
 #include "util/stats.hpp"
 #include "util/stats_registry.hpp"
@@ -102,6 +104,12 @@ ArchExplorer::ArchExplorer(const liberty::CellLibrary &library,
       workloads(workload::paperWorkloads()),
       libraryHash(library.contentHash())
 {
+    // The workload RNG seed determines every IPC number; stamping it
+    // into the diagnostics attributes makes forensics dumps and the
+    // --diag-json report self-describing for replay.
+    if (diag::enabled())
+        diag::Collector::instance().setAttribute(
+            "explorer.seed", static_cast<double>(config_.seed));
 }
 
 std::vector<double>
@@ -142,6 +150,11 @@ ArchExplorer::evaluateWith(CoreSynthesizer &synthesizer,
         "explorer.point.synth_time",
         "seconds synthesizing per design point");
     OTFT_TRACE_SCOPE("explorer.point.evaluate");
+    diag::ScopedContext diag_ctx(
+        diag::enabled()
+            ? "explorer.point.fe" + std::to_string(config.fetchWidth) +
+                  ".alu" + std::to_string(config.aluPipes)
+            : std::string());
     ++stat_points;
 
     // Key on everything that determines the result: library content,
@@ -233,6 +246,10 @@ ArchExplorer::widthSweep(int fe_min, int fe_max, int be_min, int be_max)
         static_cast<std::size_t>(fe_max - fe_min + 1);
     const std::size_t n_be =
         static_cast<std::size_t>(be_max - be_min + 1);
+    progress::Options popts;
+    popts.label = "explorer.width_sweep";
+    popts.total = n_be * n_fe;
+    progress::Reporter reporter(popts);
     auto flat = parallel::orderedMap<DesignPoint>(
         n_be * n_fe, [&](std::size_t k) {
             const int be = be_min + static_cast<int>(k / n_fe);
@@ -242,8 +259,14 @@ ArchExplorer::widthSweep(int fe_min, int fe_max, int be_min, int be_max)
             config.aluPipes =
                 be - config.memPipes - config.branchPipes;
             CoreSynthesizer local(library, config_.sta);
-            return evaluateWith(local, config);
+            const std::int64_t t0 = stats::monotonicNowNs();
+            DesignPoint point = evaluateWith(local, config);
+            reporter.itemDone(
+                static_cast<double>(stats::monotonicNowNs() - t0) *
+                1e-9);
+            return point;
         });
+    reporter.done();
 
     for (std::size_t row = 0; row < n_be; ++row) {
         auto first = flat.begin() +

@@ -6,8 +6,10 @@
 #include "circuit/dc.hpp"
 #include "circuit/transient.hpp"
 #include "liberty/serialize.hpp"
+#include "util/diag.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/progress.hpp"
 #include "util/result_cache.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -66,6 +68,29 @@ hashMeasurementContext(cache::KeyHasher &h,
     h.add(n.chord).add(n.chordRefreshRatio).add(n.singularGminBoost);
 }
 
+/**
+ * Tick a progress reporter on scope exit with the scope's wall time,
+ * so cache hits and fatal exits count the same as full measurements.
+ */
+struct ProgressTick
+{
+    progress::Reporter *reporter;
+    std::int64_t startNs;
+
+    explicit ProgressTick(progress::Reporter *rep)
+        : reporter(rep),
+          startNs(rep != nullptr ? stats::monotonicNowNs() : 0)
+    {}
+
+    ~ProgressTick()
+    {
+        if (reporter != nullptr)
+            reporter->itemDone(
+                static_cast<double>(stats::monotonicNowNs() - startNs) *
+                1e-9);
+    }
+};
+
 } // namespace
 
 cells::BuiltCell
@@ -94,6 +119,14 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
         "liberty.points.measured",
         "NLDM grid points measured (one transient each)");
     OTFT_TRACE_SCOPE("liberty.point.measure");
+
+    // Aggregate this point's solver telemetry under its arc; the
+    // label string is only built when diagnostics are on.
+    diag::ScopedContext diag_ctx(
+        diag::enabled()
+            ? "liberty." + name + ".pin" + std::to_string(pin)
+            : std::string());
+    ProgressTick tick(progress_);
 
     const double vdd = factory.supply().vdd;
 
@@ -345,8 +378,12 @@ Characterizer::characterizeFlop() const
     for (double m : config_.loadMultipliers)
         load_axis.push_back(m * cell.inputCap);
 
+    diag::ScopedContext diag_ctx(
+        diag::enabled() ? std::string("liberty.dff") : std::string());
+
     std::vector<double> clkq_rise, q_slew_rise;
     for (double load : load_axis) {
+        ProgressTick tick(progress_);
         cells::BuiltCell flop = instantiate("dff", load);
         const double t_edge = 6e-6;
         const double t_ck = 2e-3;
@@ -438,6 +475,20 @@ Characterizer::build() const
     OTFT_TRACE_SCOPE("liberty.library.build");
     CellLibrary library("organic", factory.supply().vdd);
 
+    // Progress: one item per measured grid point (per pin per cell)
+    // plus the flop clk->Q load sweep. Bisection probes are not
+    // counted — their number is data-dependent.
+    const std::size_t grid =
+        config_.slewAxis.size() * config_.loadMultipliers.size();
+    std::size_t total_points = config_.loadMultipliers.size();
+    for (const char *name : combinationalNames)
+        total_points += static_cast<std::size_t>(fanInOf(name)) * grid;
+    progress::Options popts;
+    popts.label = "liberty.characterize";
+    popts.total = total_points;
+    progress::Reporter reporter(popts);
+    progress_ = &reporter;
+
     // One task per roster cell; inside a worker the per-arc grid maps
     // run inline, so the two levels never deadlock. Cells are
     // assembled in roster order regardless of completion order.
@@ -449,6 +500,8 @@ Characterizer::build() const
                     combinationalNames[i]);
             return characterizeFlop();
         });
+    progress_ = nullptr;
+    reporter.done();
     for (StdCell &cell : cells)
         library.addCell(std::move(cell));
 

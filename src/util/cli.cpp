@@ -6,7 +6,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "util/diag.hpp"
 #include "util/logging.hpp"
+#include "util/metrics_stream.hpp"
 #include "util/parallel.hpp"
 #include "util/perf_report.hpp"
 #include "util/result_cache.hpp"
@@ -43,14 +45,9 @@ validateWritable(const std::string &path, const char *flag)
               ")");
 }
 
-/**
- * Parse and validate a --jobs/OTFT_JOBS value: a positive decimal
- * integer, clamped to the hardware concurrency. 0, negative, or
- * non-numeric input is fatal (a silent fallback would quietly run a
- * sweep serial or oversubscribed).
- */
+/** Parse a strictly positive decimal integer; fatal otherwise. */
 int
-parseJobs(const std::string &text, const char *source)
+parsePositiveInt(const std::string &text, const char *source)
 {
     std::size_t consumed = 0;
     long value = 0;
@@ -65,6 +62,19 @@ parseJobs(const std::string &text, const char *source)
               text, "'");
     if (value < 1)
         fatal("cli: ", source, " must be >= 1, got ", value);
+    return static_cast<int>(value);
+}
+
+/**
+ * Parse and validate a --jobs/OTFT_JOBS value: a positive decimal
+ * integer, clamped to the hardware concurrency. 0, negative, or
+ * non-numeric input is fatal (a silent fallback would quietly run a
+ * sweep serial or oversubscribed).
+ */
+int
+parseJobs(const std::string &text, const char *source)
+{
+    const int value = parsePositiveInt(text, source);
     const int hw = parallel::hardwareJobs();
     if (value > hw) {
         warn("cli: ", source, "=", value, " exceeds the ", hw,
@@ -108,6 +118,27 @@ Session::Session(std::string name_in, int &argc, char **argv,
                 fatal("cli: --cache-dir requires a directory");
             cacheDir = argv[i + 1];
             consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--diag-json") == 0) {
+            if (!has_value)
+                fatal("cli: --diag-json requires a path");
+            diagJsonPath = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--diag-dir") == 0) {
+            if (!has_value)
+                fatal("cli: --diag-dir requires a directory");
+            diagDir = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--metrics-jsonl") == 0) {
+            if (!has_value)
+                fatal("cli: --metrics-jsonl requires a path");
+            metricsPath = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--metrics-period-ms") == 0) {
+            if (!has_value)
+                fatal("cli: --metrics-period-ms requires a count");
+            metricsPeriod =
+                parsePositiveInt(argv[i + 1], "--metrics-period-ms");
+            consumeArgs(argc, argv, i, 2);
         } else {
             ++i;
         }
@@ -127,6 +158,17 @@ Session::Session(std::string name_in, int &argc, char **argv,
     if (cacheDir.empty())
         if (const char *env = std::getenv("OTFT_CACHE_DIR"))
             cacheDir = env;
+    if (diagJsonPath.empty())
+        if (const char *env = std::getenv("OTFT_DIAG_JSON"))
+            diagJsonPath = env;
+    if (diagDir.empty())
+        if (const char *env = std::getenv("OTFT_DIAG_DIR"))
+            diagDir = env;
+    if (metricsPath.empty())
+        if (const char *env = std::getenv("OTFT_METRICS_JSONL"))
+            metricsPath = env;
+    if (const char *env = std::getenv("OTFT_METRICS_PERIOD_MS"))
+        metricsPeriod = parsePositiveInt(env, "OTFT_METRICS_PERIOD_MS");
     // OTFT_CACHE=0 disables memoization entirely (e.g. to benchmark
     // the uncached paths or bisect a suspected stale-entry problem).
     if (const char *env = std::getenv("OTFT_CACHE"))
@@ -146,6 +188,17 @@ Session::Session(std::string name_in, int &argc, char **argv,
         validateWritable(traceJsonPath, "--trace-json");
         trace::start(traceJsonPath);
     }
+
+    if (!diagJsonPath.empty()) {
+        validateWritable(diagJsonPath, "--diag-json");
+        diag::Collector::instance().setEnabled(true);
+    }
+    // setDumpDirectory implies setEnabled and is fatal when the
+    // directory cannot be created — same policy as --cache-dir.
+    if (!diagDir.empty())
+        diag::Collector::instance().setDumpDirectory(diagDir);
+    if (!metricsPath.empty())
+        metrics::start(metricsPath, metricsPeriod);
 }
 
 void
@@ -156,6 +209,14 @@ Session::addFooterField(const std::string &key, double value)
 
 Session::~Session()
 {
+    // Stop the metrics sampler first: its final line should capture
+    // the registry as the run ended, before any exit-path mutation.
+    if (!metricsPath.empty()) {
+        metrics::stop();
+        inform("metrics: wrote ", metrics::sampleCount(),
+               " samples to ", metricsPath);
+    }
+
     // Persist memoized results before reporting; flush warns rather
     // than throws on write failure.
     if (!cacheDir.empty())
@@ -186,6 +247,19 @@ Session::~Session()
     if (statsText) {
         std::fprintf(stderr, "\n== stats: %s ==\n", name.c_str());
         registry.dumpText(std::cerr);
+    }
+
+    if (!diagJsonPath.empty()) {
+        auto &collector = diag::Collector::instance();
+        std::ofstream os(diagJsonPath);
+        if (!os) {
+            warn("cli: cannot write diagnostics to ", diagJsonPath);
+        } else {
+            collector.dumpJson(os);
+            inform("diag: wrote ", diagJsonPath, " (",
+                   collector.contextCount(), " contexts, ",
+                   collector.dumpPaths().size(), " dumps)");
+        }
     }
 
     if (footer) {

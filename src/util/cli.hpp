@@ -11,12 +11,21 @@
  *   --trace-json <path>   collect a Chrome trace_event timeline
  *   --jobs <n>            worker threads for the parallel layers
  *   --cache-dir <dir>     persist the result cache as JSON under dir
+ *   --diag-json <path>    write solver convergence telemetry on exit
+ *   --diag-dir <dir>      write failure forensics dumps under dir
+ *   --metrics-jsonl <path>  stream periodic registry snapshots (JSONL)
+ *   --metrics-period-ms <n> sampling period for --metrics-jsonl
+ *                           (default 100)
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
  *   OTFT_JOBS=n           same as --jobs
  *   OTFT_CACHE_DIR=dir    same as --cache-dir
  *   OTFT_CACHE=0          disable result-cache memoization entirely
+ *   OTFT_DIAG_JSON=path   same as --diag-json
+ *   OTFT_DIAG_DIR=dir     same as --diag-dir
+ *   OTFT_METRICS_JSONL=path       same as --metrics-jsonl
+ *   OTFT_METRICS_PERIOD_MS=n      same as --metrics-period-ms
  *
  * --jobs must be a positive integer; 0, negative, or non-numeric
  * values are fatal. Values above the hardware concurrency are clamped
@@ -83,14 +92,24 @@ class Session
     /** The result-cache persistence directory ("" = memory only). */
     const std::string &cacheDirectory() const { return cacheDir; }
 
+    /** Diagnostics settings (exposed for tests). */
+    const std::string &diagJson() const { return diagJsonPath; }
+    const std::string &diagDirectory() const { return diagDir; }
+    const std::string &metricsJsonl() const { return metricsPath; }
+    int metricsPeriodMs() const { return metricsPeriod; }
+
   private:
     std::string name;
     bool footer;
     bool statsText = false;
     int jobs_ = 0;
+    int metricsPeriod = 100;
     std::string statsJsonPath;
     std::string traceJsonPath;
     std::string cacheDir;
+    std::string diagJsonPath;
+    std::string diagDir;
+    std::string metricsPath;
     std::vector<std::pair<std::string, double>> footerExtras;
     std::int64_t points = 0;
     std::int64_t startNs;

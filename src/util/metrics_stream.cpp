@@ -1,0 +1,225 @@
+#include "util/metrics_stream.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace otft::metrics {
+
+namespace {
+
+/** Non-finite values serialize as 0 (the registry's JSON policy). */
+void
+appendNumber(std::ostringstream &oss, double v)
+{
+    if (!std::isfinite(v)) {
+        oss << 0;
+        return;
+    }
+    oss << v;
+}
+
+/** The process-wide sampler. */
+class Sampler
+{
+  public:
+    static Sampler &
+    instance()
+    {
+        static Sampler sampler;
+        return sampler;
+    }
+
+    void
+    start(const std::string &path, int period_ms)
+    {
+        stop();
+        std::unique_lock<std::mutex> lock(mutex_);
+        out_.open(path, std::ios::trunc);
+        if (!out_)
+            fatal("metrics: cannot open '", path, "' for writing");
+        periodMs_ = period_ms < 1 ? 1 : period_ms;
+        startNs_ = stats::monotonicNowNs();
+        seq_ = 0;
+        running_ = true;
+        writeSampleLocked();
+        thread_ = std::thread([this] { run(); });
+    }
+
+    void
+    stop()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!running_)
+                return;
+            running_ = false;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+        std::unique_lock<std::mutex> lock(mutex_);
+        writeSampleLocked(); // final state, after the thread joined
+        out_.close();
+    }
+
+    bool
+    sampling() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return running_;
+    }
+
+    void
+    sampleNow()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        writeSampleLocked();
+    }
+
+    std::size_t
+    count() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return seq_;
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (running_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(periodMs_),
+                         [this] { return !running_; });
+            if (!running_)
+                break;
+            writeSampleLocked();
+        }
+    }
+
+    void
+    writeSampleLocked()
+    {
+        const double t_ms =
+            static_cast<double>(stats::monotonicNowNs() - startNs_) *
+            1e-6;
+        out_ << formatSampleLine(stats::Registry::instance().snapshot(),
+                                 seq_, t_ms)
+             << '\n';
+        out_.flush();
+        ++seq_;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+    std::ofstream out_;
+    int periodMs_ = 100;
+    std::int64_t startNs_ = 0;
+    std::size_t seq_ = 0;
+    bool running_ = false;
+};
+
+} // namespace
+
+void
+start(const std::string &path, int period_ms)
+{
+    Sampler::instance().start(path, period_ms);
+}
+
+void
+stop()
+{
+    Sampler::instance().stop();
+}
+
+bool
+sampling()
+{
+    return Sampler::instance().sampling();
+}
+
+void
+sampleNow()
+{
+    Sampler::instance().sampleNow();
+}
+
+std::size_t
+sampleCount()
+{
+    return Sampler::instance().count();
+}
+
+std::string
+formatSampleLine(const stats::Snapshot &snap, std::size_t seq,
+                 double t_ms)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "{\"schema\":\"" << metricsSchema << "\",\"seq\":" << seq
+        << ",\"t_ms\":";
+    appendNumber(oss, t_ms);
+
+    oss << ",\"scalars\":{";
+    bool first = true;
+    for (const auto &[name, value] : snap.scalars) {
+        oss << (first ? "" : ",") << "\"" << json::escape(name)
+            << "\":";
+        appendNumber(oss, value);
+        first = false;
+    }
+    oss << "}";
+
+    oss << ",\"accumulators\":{";
+    first = true;
+    for (const auto &[name, a] : snap.accumulators) {
+        oss << (first ? "" : ",") << "\"" << json::escape(name)
+            << "\":{\"count\":" << a.count << ",\"sum\":";
+        appendNumber(oss, a.sum);
+        oss << ",\"min\":";
+        appendNumber(oss, a.min);
+        oss << ",\"max\":";
+        appendNumber(oss, a.max);
+        oss << ",\"mean\":";
+        appendNumber(oss, a.mean);
+        oss << "}";
+        first = false;
+    }
+    oss << "}";
+
+    oss << ",\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        oss << (first ? "" : ",") << "\"" << json::escape(name)
+            << "\":{\"lo\":";
+        appendNumber(oss, h.lo);
+        oss << ",\"hi\":";
+        appendNumber(oss, h.hi);
+        oss << ",\"underflow\":" << h.underflow
+            << ",\"overflow\":" << h.overflow << ",\"p50\":";
+        appendNumber(oss, h.p50);
+        oss << ",\"p95\":";
+        appendNumber(oss, h.p95);
+        oss << ",\"bins\":[";
+        for (std::size_t i = 0; i < h.bins.size(); ++i)
+            oss << (i ? "," : "") << h.bins[i];
+        oss << "]}";
+        first = false;
+    }
+    oss << "}}";
+    return oss.str();
+}
+
+} // namespace otft::metrics

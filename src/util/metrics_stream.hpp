@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Metrics time-series: a background sampler that snapshots the stats
+ * registry every N ms and appends one JSON object per sample to a
+ * JSONL stream (`--metrics-jsonl`), so post-hoc analysis sees cache
+ * hit-rate, pool utilization, and solver counters *over the run*
+ * rather than only the exit footer.
+ *
+ * Line schema ("otft-metrics-1"):
+ *
+ *     {"schema":"otft-metrics-1","seq":3,"t_ms":312.4,
+ *      "scalars":{"circuit.newton.solves":812,...},
+ *      "accumulators":{"time.liberty.build":{"count":..,"sum":..,
+ *                      "min":..,"max":..,"mean":..},...},
+ *      "histograms":{"circuit.newton.iterations_per_solve":
+ *                    {"lo":..,"hi":..,"underflow":..,"overflow":..,
+ *                     "p50":..,"p95":..,"bins":[..]},...}}
+ *
+ * Samples are cumulative (registry values, not deltas); consumers
+ * difference adjacent lines for rates. Non-finite values serialize as
+ * 0, matching the registry's own JSON policy, so every line parses
+ * with util/json.
+ *
+ * One sampler per process (cli::Session starts and stops it). The
+ * sampler thread wakes on a condition variable, so stop() is prompt
+ * and always writes one final sample — short runs get at least two
+ * lines (the start() baseline and the stop() final state).
+ */
+
+#ifndef OTFT_UTIL_METRICS_STREAM_HPP
+#define OTFT_UTIL_METRICS_STREAM_HPP
+
+#include <string>
+
+#include "util/stats_registry.hpp"
+
+namespace otft::metrics {
+
+/** Schema tag carried on every JSONL line. */
+inline constexpr const char *metricsSchema = "otft-metrics-1";
+
+/**
+ * Begin sampling into `path` every `period_ms` milliseconds (clamped
+ * to >= 1). Truncates the file and writes a baseline sample
+ * immediately. Starting twice without stop() restarts the stream.
+ * Fatal when the path cannot be opened.
+ */
+void start(const std::string &path, int period_ms);
+
+/** Write one final sample and stop the sampler (idempotent). */
+void stop();
+
+/** @return true while the sampler is running. */
+bool sampling();
+
+/** Force one sample right now (no-op unless sampling; for tests). */
+void sampleNow();
+
+/** Number of lines written since start() (for tests and footers). */
+std::size_t sampleCount();
+
+/**
+ * Render one JSONL line (no trailing newline) from a snapshot.
+ * Exposed so tests can validate the serialization and its NaN/Inf
+ * policy without running the sampler thread.
+ */
+std::string formatSampleLine(const stats::Snapshot &snap,
+                             std::size_t seq, double t_ms);
+
+} // namespace otft::metrics
+
+#endif // OTFT_UTIL_METRICS_STREAM_HPP

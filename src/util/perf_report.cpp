@@ -498,4 +498,52 @@ renderDiff(const DiffReport &diff, std::ostream &os)
        << " improvement(s) past the noise gate\n";
 }
 
+void
+renderDiffMarkdown(const DiffReport &diff, std::ostream &os)
+{
+    // Pipes in cell content would break the table; scenario/metric
+    // names are dotted identifiers today, but escape defensively.
+    const auto escape_cell = [](const std::string &text) {
+        std::string out;
+        out.reserve(text.size());
+        for (char c : text) {
+            if (c == '|')
+                out += "\\|";
+            else
+                out += c;
+        }
+        return out;
+    };
+
+    os << "| scenario | metric | baseline | current | delta | gate "
+          "| verdict |\n";
+    os << "| --- | --- | ---: | ---: | ---: | ---: | --- |\n";
+    for (const DiffEntry &entry : diff.entries) {
+        std::string delta = "-";
+        if (entry.status != DiffStatus::Added &&
+            entry.status != DiffStatus::Removed) {
+            std::ostringstream oss;
+            oss.precision(2);
+            oss << std::fixed << std::showpos << entry.delta * 100.0
+                << "%";
+            delta = oss.str();
+        }
+        const bool is_wall = entry.metric == "wall_s";
+        auto render_value = [is_wall](double v) {
+            return is_wall ? formatSi(v, "s") : formatNumber(v);
+        };
+        const bool bold = entry.status == DiffStatus::Regressed;
+        const char *emph = bold ? "**" : "";
+        os << "| " << emph << escape_cell(entry.scenario) << emph
+           << " | " << escape_cell(entry.metric) << " | "
+           << render_value(entry.baseline) << " | "
+           << render_value(entry.current) << " | " << delta << " | "
+           << render_value(entry.gate) << " | " << emph
+           << toString(entry.status) << emph << " |\n";
+    }
+    os << "\n"
+       << diff.regressions << " regression(s), " << diff.improvements
+       << " improvement(s) past the noise gate\n";
+}
+
 } // namespace otft::perf

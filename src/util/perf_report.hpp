@@ -246,6 +246,13 @@ DiffReport diffReports(const BenchReport &baseline,
 /** Render the regression/improvement table. */
 void renderDiff(const DiffReport &diff, std::ostream &os);
 
+/**
+ * Render the diff as a GitHub-flavored markdown table (for PR
+ * comments / CI job summaries). Regressed rows are bolded; the
+ * trailing summary line matches renderDiff().
+ */
+void renderDiffMarkdown(const DiffReport &diff, std::ostream &os);
+
 } // namespace otft::perf
 
 #endif // OTFT_UTIL_PERF_REPORT_HPP

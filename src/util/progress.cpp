@@ -1,0 +1,233 @@
+#include "util/progress.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+
+namespace otft::progress {
+
+namespace {
+
+/** Keep at most this many durations for the median estimate. */
+constexpr std::size_t maxDurations = 4096;
+
+enum class Policy { Off, ForcedOn, TtyOnly };
+
+Policy
+policy()
+{
+    static const Policy p = [] {
+        const char *env = std::getenv("OTFT_PROGRESS");
+        if (env && std::string(env) == "0")
+            return Policy::Off;
+        if (env && std::string(env) == "1")
+            return Policy::ForcedOn;
+        return Policy::TtyOnly;
+    }();
+    return p;
+}
+
+bool
+stderrIsTty()
+{
+    static const bool tty = isatty(fileno(stderr)) != 0;
+    return tty;
+}
+
+double
+watchdogMultipleOverride(double fallback)
+{
+    const char *env = std::getenv("OTFT_WATCHDOG_MULT");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env)
+        return fallback;
+    return v;
+}
+
+std::string
+formatEta(double seconds)
+{
+    if (seconds < 0.0)
+        return "--";
+    std::ostringstream oss;
+    const auto s = static_cast<long>(seconds + 0.5);
+    if (s >= 3600)
+        oss << s / 3600 << "h" << (s % 3600) / 60 << "m";
+    else if (s >= 60)
+        oss << s / 60 << "m" << s % 60 << "s";
+    else
+        oss << s << "s";
+    return oss.str();
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    switch (policy()) {
+      case Policy::Off:
+        return false;
+      case Policy::ForcedOn:
+        return true;
+      case Policy::TtyOnly:
+        return stderrIsTty();
+    }
+    return false;
+}
+
+Reporter::Reporter(Options options)
+    : options_(std::move(options)), startNs_(stats::monotonicNowNs()),
+      renders_(enabled()), tty_(stderrIsTty())
+{
+    options_.watchdogMultiple =
+        watchdogMultipleOverride(options_.watchdogMultiple);
+}
+
+Reporter::~Reporter()
+{
+    done();
+}
+
+void
+Reporter::itemDone(double duration_s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+
+    if (duration_s > 0.0 && options_.watchdogMultiple > 0.0) {
+        if (durations_.size() >= options_.watchdogMinSamples) {
+            const double median = medianLocked();
+            if (median > 0.0 &&
+                duration_s > options_.watchdogMultiple * median) {
+                ++watchdogFlags_;
+                static stats::Counter &stat_flags = stats::counter(
+                    "progress.watchdog_flags",
+                    "tasks slower than the watchdog multiple of the "
+                    "median task time");
+                ++stat_flags;
+                warn(options_.label, ": slow task: ", duration_s,
+                     " s vs median ", median, " s (item ", completed_,
+                     options_.total ? "/" : "",
+                     options_.total ? std::to_string(options_.total)
+                                    : std::string(),
+                     ")");
+            }
+        }
+        if (durations_.size() < maxDurations)
+            durations_.push_back(duration_s);
+    }
+
+    if (renders_)
+        maybeRenderLocked();
+}
+
+void
+Reporter::done()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    finished_ = true;
+    if (!renders_ || completed_ == 0)
+        return;
+    if (tty_)
+        std::fprintf(stderr, "\r%s\n", lineLocked().c_str());
+    else
+        std::fprintf(stderr, "%s\n", lineLocked().c_str());
+}
+
+std::size_t
+Reporter::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+std::uint64_t
+Reporter::watchdogFlags() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return watchdogFlags_;
+}
+
+std::string
+Reporter::line() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lineLocked();
+}
+
+std::string
+Reporter::lineLocked() const
+{
+    const double elapsed =
+        static_cast<double>(stats::monotonicNowNs() - startNs_) * 1e-9;
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(completed_) / elapsed : 0.0;
+
+    std::ostringstream oss;
+    oss << options_.label << ": " << completed_;
+    if (options_.total) {
+        oss << "/" << options_.total;
+        const double pct = 100.0 * static_cast<double>(completed_) /
+                           static_cast<double>(options_.total);
+        oss << " (" << static_cast<int>(pct) << "%)";
+    }
+    oss.precision(3);
+    oss << " " << rate << "/s";
+    if (options_.total && rate > 0.0 && completed_ < options_.total) {
+        const double remaining =
+            static_cast<double>(options_.total - completed_) / rate;
+        oss << " eta " << formatEta(remaining);
+    }
+    return oss.str();
+}
+
+double
+Reporter::medianLocked() const
+{
+    if (durations_.empty())
+        return 0.0;
+    std::vector<double> copy = durations_;
+    const std::size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+    return copy[mid];
+}
+
+void
+Reporter::maybeRenderLocked()
+{
+    if (tty_) {
+        const std::int64_t now = stats::monotonicNowNs();
+        const auto min_ns = static_cast<std::int64_t>(
+            options_.minRedrawIntervalS * 1e9);
+        if (now - lastRenderNs_ < min_ns)
+            return;
+        lastRenderNs_ = now;
+        std::fprintf(stderr, "\r%s\033[K", lineLocked().c_str());
+        std::fflush(stderr);
+        return;
+    }
+    // Non-TTY (forced on): one full line per completed decile, so a
+    // captured log shows coarse progress without redraw control codes.
+    if (!options_.total)
+        return;
+    const std::size_t decile =
+        completed_ * 10 / options_.total;
+    if (decile > lastDecile_ && completed_ < options_.total) {
+        lastDecile_ = decile;
+        std::fprintf(stderr, "%s\n", lineLocked().c_str());
+    }
+}
+
+} // namespace otft::progress

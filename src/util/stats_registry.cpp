@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -371,7 +372,9 @@ Registry::dumpJson(std::ostream &os) const
         if (!first)
             os << ",\n";
         first = false;
-        os << "  \"" << name << "\": ";
+        // Names are conventionally dotted identifiers, but nothing
+        // enforces that — escape so arbitrary keys stay valid JSON.
+        os << "  \"" << json::escape(name) << "\": ";
         switch (node->kind) {
           case NodeKind::Counter:
             os << node->counter.value();
@@ -406,6 +409,51 @@ Registry::dumpJson(std::ostream &os) const
         }
     }
     os << "\n}\n";
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    for (const auto &[name, node] : nodes) {
+        switch (node->kind) {
+          case NodeKind::Counter:
+            snap.scalars[name] =
+                static_cast<double>(node->counter.value());
+            break;
+          case NodeKind::Rate:
+            snap.scalars[name] = rateValueLocked(name);
+            break;
+          case NodeKind::Accumulator: {
+            const Accumulator &a = node->accumulator;
+            SnapshotAccumulator out;
+            out.count = a.count();
+            out.sum = a.sum();
+            out.min = a.min();
+            out.max = a.max();
+            out.mean = a.mean();
+            snap.accumulators[name] = out;
+            break;
+          }
+          case NodeKind::Histogram: {
+            if (!node->histogram)
+                break;
+            const Histogram &h = *node->histogram;
+            SnapshotHistogram out;
+            out.lo = h.lo();
+            out.hi = h.hi();
+            out.underflow = h.underflow();
+            out.overflow = h.overflow();
+            out.p50 = h.p50();
+            out.p95 = h.p95();
+            out.bins = h.binsSnapshot();
+            snap.histograms[name] = out;
+            break;
+          }
+        }
+    }
+    return snap;
 }
 
 Counter &

@@ -255,6 +255,14 @@ class Registry
     /** Dump every node as one flat JSON object keyed by name. */
     void dumpJson(std::ostream &os) const;
 
+    /**
+     * In-memory snapshot of every node (counters and rates as scalars,
+     * accumulators, histograms with bins), equivalent to parsing a
+     * dumpJson() document. Used by the metrics sampler, which cannot
+     * afford a serialize/parse round trip per tick.
+     */
+    struct Snapshot snapshot() const;
+
     /** Number of registered nodes. */
     std::size_t
     size() const

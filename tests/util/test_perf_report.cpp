@@ -274,6 +274,38 @@ TEST(PerfReport, RenderDiffPrintsVerdicts)
     EXPECT_NE(os.str().find("2 regression(s)"), std::string::npos);
 }
 
+TEST(PerfReport, RenderDiffMarkdownEmitsAGithubTable)
+{
+    const BenchReport baseline = makeReport(1.0, 1000.0);
+    const BenchReport current = makeReport(1.8, 1050.0);
+    const DiffReport diff = diffReports(baseline, current);
+    std::ostringstream os;
+    renderDiffMarkdown(diff, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("| scenario | metric | baseline | current | "
+                        "delta | gate | verdict |"),
+              std::string::npos);
+    EXPECT_NE(text.find("| --- | --- | ---: | ---: | ---: | ---: "
+                        "| --- |"),
+              std::string::npos);
+    // Regressed rows are bolded for PR-comment scannability.
+    EXPECT_NE(text.find("**REGRESSED**"), std::string::npos);
+    EXPECT_NE(text.find("2 regression(s)"), std::string::npos);
+
+    // Every row must have the same column count or GitHub renders a
+    // broken table: count pipes per line.
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] != '|')
+            continue;
+        std::size_t pipes = 0;
+        for (char ch : line)
+            pipes += ch == '|' ? 1 : 0;
+        EXPECT_EQ(pipes, 8u) << line;
+    }
+}
+
 TEST(PerfReport, EnvironmentFingerprintIsPopulated)
 {
     const EnvFingerprint env = currentEnvironment();

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the progress reporter: counting, the status line,
+ * and the median-based watchdog. Rendering itself is policy-gated
+ * (OTFT_PROGRESS / TTY detection), so the tests exercise the
+ * rendering-independent surface that drives it.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/progress.hpp"
+
+namespace otft::progress {
+namespace {
+
+Options
+quietOptions(std::size_t total)
+{
+    Options o;
+    o.label = "test.sweep";
+    o.total = total;
+    return o;
+}
+
+TEST(Progress, CountsCompletedItems)
+{
+    Reporter reporter(quietOptions(4));
+    EXPECT_EQ(reporter.completed(), 0u);
+    reporter.itemDone(0.0);
+    reporter.itemDone(0.0);
+    EXPECT_EQ(reporter.completed(), 2u);
+    reporter.done();
+    EXPECT_EQ(reporter.completed(), 2u);
+}
+
+TEST(Progress, LineShowsLabelCountAndPercent)
+{
+    Reporter reporter(quietOptions(10));
+    for (int i = 0; i < 5; ++i)
+        reporter.itemDone(0.0);
+    const std::string line = reporter.line();
+    EXPECT_NE(line.find("test.sweep: 5/10"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("(50%)"), std::string::npos) << line;
+    EXPECT_NE(line.find("/s"), std::string::npos) << line;
+}
+
+TEST(Progress, LineWithoutTotalOmitsPercent)
+{
+    Reporter reporter(quietOptions(0));
+    reporter.itemDone(0.0);
+    const std::string line = reporter.line();
+    EXPECT_NE(line.find("test.sweep: 1"), std::string::npos) << line;
+    EXPECT_EQ(line.find("%"), std::string::npos) << line;
+}
+
+TEST(Progress, WatchdogFlagsOutliersPastTheMedian)
+{
+    Options o = quietOptions(0);
+    o.watchdogMultiple = 8.0;
+    o.watchdogMinSamples = 4;
+    Reporter reporter(o);
+    // Build up a stable median of ~10 ms.
+    for (int i = 0; i < 6; ++i)
+        reporter.itemDone(0.010);
+    EXPECT_EQ(reporter.watchdogFlags(), 0u);
+    // 1 s against a 10 ms median is far past 8x.
+    reporter.itemDone(1.0);
+    EXPECT_EQ(reporter.watchdogFlags(), 1u);
+    // Normal tasks afterwards stay unflagged.
+    reporter.itemDone(0.011);
+    EXPECT_EQ(reporter.watchdogFlags(), 1u);
+}
+
+TEST(Progress, WatchdogWaitsForMinSamples)
+{
+    Options o = quietOptions(0);
+    o.watchdogMultiple = 2.0;
+    o.watchdogMinSamples = 8;
+    Reporter reporter(o);
+    // Outliers among the first minSamples-1 items never flag: the
+    // median is not trustworthy yet.
+    for (int i = 0; i < 7; ++i)
+        reporter.itemDone(i == 3 ? 5.0 : 0.010);
+    EXPECT_EQ(reporter.watchdogFlags(), 0u);
+}
+
+TEST(Progress, WatchdogDisabledByNonPositiveMultiple)
+{
+    Options o = quietOptions(0);
+    o.watchdogMultiple = 0.0;
+    o.watchdogMinSamples = 1;
+    Reporter reporter(o);
+    for (int i = 0; i < 4; ++i)
+        reporter.itemDone(0.001);
+    reporter.itemDone(100.0);
+    EXPECT_EQ(reporter.watchdogFlags(), 0u);
+}
+
+TEST(Progress, ZeroDurationsSkipTheWatchdogSampleSet)
+{
+    Options o = quietOptions(0);
+    o.watchdogMultiple = 2.0;
+    o.watchdogMinSamples = 2;
+    Reporter reporter(o);
+    // Unknown durations (0) must neither flag nor poison the median.
+    for (int i = 0; i < 10; ++i)
+        reporter.itemDone(0.0);
+    EXPECT_EQ(reporter.watchdogFlags(), 0u);
+    EXPECT_EQ(reporter.completed(), 10u);
+}
+
+TEST(Progress, DoneIsIdempotentAndDestructorSafe)
+{
+    {
+        Reporter reporter(quietOptions(2));
+        reporter.itemDone(0.0);
+        reporter.done();
+        reporter.done();
+        // Destructor calls done() again; must not crash or double
+        // count.
+        EXPECT_EQ(reporter.completed(), 1u);
+    }
+}
+
+} // namespace
+} // namespace otft::progress

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/result_cache.hpp"
+#include "util/trace.hpp"
 
 namespace otft::cache {
 namespace {
@@ -269,6 +270,52 @@ TEST_F(ResultCacheTest, FreeFunctionsUseTheSingleton)
     EXPECT_TRUE(lookup("free.fn", 5, out));
     EXPECT_EQ(out, std::vector<double>({5.5}));
     EXPECT_EQ(ResultCache::instance().size(), 1u);
+}
+
+TEST_F(ResultCacheTest, TimelineRecordsHitMissAndEvictEvents)
+{
+    const std::string path = makeTempDir("trace") + "/timeline.json";
+    std::filesystem::create_directories(tempDir);
+    auto &c = ResultCache::instance();
+    c.setCapacity(2);
+
+    trace::start(path);
+    std::vector<double> out;
+    const std::size_t base = trace::eventCount();
+    EXPECT_FALSE(c.lookup("t", 1, out)); // miss (+ lookup span)
+    const std::size_t after_miss = trace::eventCount();
+    EXPECT_GE(after_miss - base, 2u);
+
+    c.store("t", 1, {1.0});
+    EXPECT_TRUE(c.lookup("t", 1, out)); // hit (+ lookup span)
+    const std::size_t after_hit = trace::eventCount();
+    EXPECT_GE(after_hit - after_miss, 2u);
+
+    c.store("t", 2, {2.0});
+    c.store("t", 3, {3.0}); // capacity 2: evicts the LRU entry
+    const std::size_t after_evict = trace::eventCount();
+    EXPECT_GE(after_evict - after_hit, 1u);
+
+    trace::stop();
+
+    // The emitted timeline names the cache decisions.
+    std::ifstream is(path);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("cache.miss"), std::string::npos);
+    EXPECT_NE(text.find("cache.hit"), std::string::npos);
+    EXPECT_NE(text.find("cache.evict"), std::string::npos);
+}
+
+TEST_F(ResultCacheTest, NoTimelineEventsWhenNotCollecting)
+{
+    ASSERT_FALSE(trace::collecting());
+    auto &c = ResultCache::instance();
+    std::vector<double> out;
+    const std::size_t before = trace::eventCount();
+    c.store("quiet", 1, {1.0});
+    EXPECT_TRUE(c.lookup("quiet", 1, out));
+    EXPECT_EQ(trace::eventCount(), before);
 }
 
 } // namespace

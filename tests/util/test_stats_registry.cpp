@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/stats_registry.hpp"
 
@@ -243,6 +244,77 @@ TEST(StatsRegistry, TextDumpMentionsNonEmptyNodes)
     Registry::instance().dumpText(ss);
     EXPECT_NE(ss.str().find("test.text.counter"), std::string::npos);
     EXPECT_NE(ss.str().find("text dump check"), std::string::npos);
+}
+
+TEST(StatsRegistry, TextDumpShowsHistogramUnderOverflow)
+{
+    Histogram &h =
+        histogram("test.text.histogram", 0.0, 4.0, 4, "tail check");
+    h.reset();
+    h.sample(-2.0);
+    h.sample(1.0);
+    h.sample(8.0);
+    h.sample(9.0);
+    std::stringstream ss;
+    Registry::instance().dumpText(ss);
+    EXPECT_NE(ss.str().find("under=1"), std::string::npos);
+    EXPECT_NE(ss.str().find("over=2"), std::string::npos);
+}
+
+TEST(StatsRegistry, DumpJsonEscapesArbitraryNodeNames)
+{
+    // Nothing restricts node names to identifier characters; the JSON
+    // writer must escape them or the whole document is unparseable.
+    Counter &c =
+        counter("test.json.\"quoted\"\\name", "escaping check");
+    c.reset();
+    c += 9;
+    std::stringstream ss;
+    Registry::instance().dumpJson(ss);
+    const json::Value doc = json::parse(ss.str());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.number("test.json.\"quoted\"\\name"), 9.0);
+}
+
+TEST(StatsRegistry, InMemorySnapshotMatchesParsedDump)
+{
+    Registry &reg = Registry::instance();
+    Counter &c = counter("test.snap.counter");
+    Accumulator &a = accumulator("test.snap.accumulator");
+    Histogram &h = histogram("test.snap.histogram", 0.0, 4.0, 4);
+    c.reset();
+    a.reset();
+    h.reset();
+    c += 7;
+    a.sample(1.0);
+    a.sample(3.0);
+    h.sample(-1.0);
+    h.sample(2.0);
+    h.sample(9.0);
+
+    std::stringstream ss;
+    reg.dumpJson(ss);
+    const Snapshot parsed = parseSnapshot(ss);
+    const Snapshot live = reg.snapshot();
+
+    EXPECT_EQ(live.scalar("test.snap.counter"),
+              parsed.scalar("test.snap.counter"));
+    const auto &la = live.accumulators.at("test.snap.accumulator");
+    const auto &pa = parsed.accumulators.at("test.snap.accumulator");
+    EXPECT_EQ(la.count, pa.count);
+    EXPECT_EQ(la.sum, pa.sum);
+    EXPECT_EQ(la.min, pa.min);
+    EXPECT_EQ(la.max, pa.max);
+    EXPECT_EQ(la.mean, pa.mean);
+    const auto &lh = live.histograms.at("test.snap.histogram");
+    const auto &ph = parsed.histograms.at("test.snap.histogram");
+    EXPECT_EQ(lh.lo, ph.lo);
+    EXPECT_EQ(lh.hi, ph.hi);
+    EXPECT_EQ(lh.underflow, ph.underflow);
+    EXPECT_EQ(lh.overflow, ph.overflow);
+    EXPECT_EQ(lh.p50, ph.p50);
+    EXPECT_EQ(lh.p95, ph.p95);
+    EXPECT_EQ(lh.bins, ph.bins);
 }
 
 } // namespace
