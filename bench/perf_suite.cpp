@@ -8,10 +8,18 @@
  * Usage:
  *   perf_suite [--reps N] [--warmup N] [--filter SUBSTR]
  *              [--out FILE.json] [--ingest FOOTERS.txt] [--list]
+ *              [--profile] [--profile-dir DIR]
+ *
+ * --profile runs the sampling profiler across each scenario's timed
+ * reps and writes one `PROF_<scenario>.folded` collapsed-stack file
+ * per scenario (under --profile-dir, default cwd), ready for
+ * flamegraph.pl / speedscope.
  *
  * Environment:
  *   OTFT_BENCH_REPS, OTFT_BENCH_WARMUP  defaults for --reps/--warmup
  *                                       (flags take precedence)
+ *   OTFT_PROFILE_PERIOD_US, OTFT_PROFILE_TOPN
+ *                        sampling period / report rows for --profile
  */
 
 #include <cstdio>
@@ -38,7 +46,7 @@ usage()
         stderr,
         "usage: perf_suite [--reps N] [--warmup N] [--filter SUBSTR]\n"
         "                  [--out FILE.json] [--ingest FOOTERS.txt]\n"
-        "                  [--list]\n");
+        "                  [--list] [--profile] [--profile-dir DIR]\n");
 }
 
 std::uint64_t
@@ -88,6 +96,11 @@ main(int argc, char **argv)
     perf::SuiteOptions options;
     options.reps = envCount("OTFT_BENCH_REPS", options.reps);
     options.warmup = envCount("OTFT_BENCH_WARMUP", options.warmup);
+    options.profilePeriodUs = envCount("OTFT_PROFILE_PERIOD_US",
+                                       options.profilePeriodUs);
+    options.profileTopN = static_cast<int>(envCount(
+        "OTFT_PROFILE_TOPN",
+        static_cast<std::uint64_t>(options.profileTopN)));
     std::string out_path;
     std::string ingest_path;
     bool list_only = false;
@@ -105,6 +118,11 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (std::strcmp(arg, "--ingest") == 0 && has_value) {
             ingest_path = argv[++i];
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            options.profile = true;
+        } else if (std::strcmp(arg, "--profile-dir") == 0 &&
+                   has_value) {
+            options.profileDir = argv[++i];
         } else if (std::strcmp(arg, "--list") == 0) {
             list_only = true;
         } else {

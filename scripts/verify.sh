@@ -3,7 +3,8 @@
 # the tier1-labelled test suite. This is the gate every change must
 # pass; CI runs exactly this script.
 #
-# Usage: scripts/verify.sh [--tsan|--asan|--bench|--diag] [build-dir]
+# Usage: scripts/verify.sh [--tsan|--asan|--bench|--diag|--profile]
+#        [build-dir]
 #
 #   --tsan   build with -fsanitize=thread into <build-dir>-tsan and
 #            run the concurrency-labelled tests under it
@@ -18,6 +19,11 @@
 #            validate both artifacts with `diag_replay --check-diag`
 #            and `diag_replay --check-metrics`. Catches bit-rot in the
 #            telemetry plumbing without touching tier-1.
+#   --profile  profiler smoke lane: run one scenario under the
+#            sampling profiler, check the folded flamegraph artifact
+#            is non-empty and the otft-prof-1 footer parses, then run
+#            the profile_smoke-labelled ctest suite. Wall-clock
+#            sensitive, so opt-in rather than tier-1.
 #
 # The sanitizer lanes keep their own build trees so the default tree
 # stays warm for the plain gate.
@@ -28,6 +34,7 @@ LANE_SUFFIX=""
 TEST_LABEL="tier1"
 PERF_SMOKE=0
 DIAG_SMOKE=0
+PROFILE_SMOKE=0
 if [[ "${1:-}" == "--tsan" ]]; then
     SANITIZE="thread"
     LANE_SUFFIX="-tsan"
@@ -42,6 +49,9 @@ elif [[ "${1:-}" == "--bench" ]]; then
     shift
 elif [[ "${1:-}" == "--diag" ]]; then
     DIAG_SMOKE=1
+    shift
+elif [[ "${1:-}" == "--profile" ]]; then
+    PROFILE_SMOKE=1
     shift
 fi
 
@@ -88,6 +98,38 @@ if [[ "${DIAG_SMOKE}" == "1" ]]; then
     "${BUILD_DIR}/bench/diag_replay" --check-diag "${DIAG_OUT}"
     "${BUILD_DIR}/bench/diag_replay" --check-metrics "${METRICS_OUT}"
     echo "diag lane ok"
+    exit 0
+fi
+
+if [[ "${PROFILE_SMOKE}" == "1" ]]; then
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+        --target perf_suite fig06_inverter_comparison \
+        test_profile_smoke
+    PROF_DIR="${BUILD_DIR}/prof_smoke"
+    mkdir -p "${PROF_DIR}"
+    # Suite path: one profiled scenario must leave a non-empty folded
+    # flamegraph artifact.
+    "${BUILD_DIR}/bench/perf_suite" --reps 1 --warmup 0 \
+        --filter liberty.nldm_characterize_par \
+        --profile --profile-dir "${PROF_DIR}"
+    FOLDED="${PROF_DIR}/PROF_liberty_nldm_characterize_par.folded"
+    if [ ! -s "${FOLDED}" ]; then
+        echo "error: ${FOLDED} missing or empty" >&2
+        exit 1
+    fi
+    # Session path: a footered bench run with --profile-folded must
+    # carry the otft-prof-1 profile section in its footer line.
+    BENCH_LOG="${PROF_DIR}/fig06.out"
+    "${BUILD_DIR}/bench/fig06_inverter_comparison" \
+        --profile-folded "${PROF_DIR}/fig06.folded" \
+        | tee "${BENCH_LOG}"
+    if ! grep -q 'otft-prof-1' "${BENCH_LOG}"; then
+        echo "error: no otft-prof-1 footer section in output" >&2
+        exit 1
+    fi
+    ctest --test-dir "${BUILD_DIR}" -L profile_smoke \
+        --output-on-failure -j "${JOBS}"
+    echo "profile lane ok"
     exit 0
 fi
 

@@ -5,6 +5,7 @@
 
 #include "circuit/dump.hpp"
 #include "util/logging.hpp"
+#include "util/profiler.hpp"
 #include "util/stats_registry.hpp"
 
 namespace otft::circuit {
@@ -211,6 +212,7 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
 
     ++stat_solves;
     stats::ScopedTimer timer(stat_time);
+    prof::FrameGuard prof_frame("mna.solve_newton");
 
     const diag::SolveKind solve_kind = dt > 0.0
                                            ? diag::SolveKind::TransientStep
@@ -232,6 +234,7 @@ Mna::solveNewton(Solution &x, double time, double source_scale, double dt,
     // with a small conductance added to the node diagonals (rescues
     // e.g. momentarily floating nodes when gmin is disabled).
     const auto refactor = [&]() -> bool {
+        prof::FrameGuard lu_frame("mna.lu_factor");
         assemble(x, time, source_scale, dt, x_prev, &jac, residual);
         if (lu.factor(jac))
             return true;

@@ -151,7 +151,7 @@ ArchExplorer::evaluateWith(CoreSynthesizer &synthesizer,
         "seconds synthesizing per design point");
     OTFT_TRACE_SCOPE("explorer.point.evaluate");
     diag::ScopedContext diag_ctx(
-        diag::enabled()
+        diag::labelsWanted()
             ? "explorer.point.fe" + std::to_string(config.fetchWidth) +
                   ".alu" + std::to_string(config.aluPipes)
             : std::string());

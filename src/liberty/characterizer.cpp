@@ -121,9 +121,9 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
     OTFT_TRACE_SCOPE("liberty.point.measure");
 
     // Aggregate this point's solver telemetry under its arc; the
-    // label string is only built when diagnostics are on.
+    // label string is only built when some consumer wants it.
     diag::ScopedContext diag_ctx(
-        diag::enabled()
+        diag::labelsWanted()
             ? "liberty." + name + ".pin" + std::to_string(pin)
             : std::string());
     ProgressTick tick(progress_);
@@ -379,7 +379,8 @@ Characterizer::characterizeFlop() const
         load_axis.push_back(m * cell.inputCap);
 
     diag::ScopedContext diag_ctx(
-        diag::enabled() ? std::string("liberty.dff") : std::string());
+        diag::labelsWanted() ? std::string("liberty.dff")
+                             : std::string());
 
     std::vector<double> clkq_rise, q_slew_rise;
     for (double load : load_axis) {

@@ -11,6 +11,7 @@
 #include "util/metrics_stream.hpp"
 #include "util/parallel.hpp"
 #include "util/perf_report.hpp"
+#include "util/profiler.hpp"
 #include "util/result_cache.hpp"
 #include "util/stats_registry.hpp"
 #include "util/trace.hpp"
@@ -139,6 +140,23 @@ Session::Session(std::string name_in, int &argc, char **argv,
             metricsPeriod =
                 parsePositiveInt(argv[i + 1], "--metrics-period-ms");
             consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--profile-folded") == 0) {
+            if (!has_value)
+                fatal("cli: --profile-folded requires a path");
+            profilePath = argv[i + 1];
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--profile-period-us") == 0) {
+            if (!has_value)
+                fatal("cli: --profile-period-us requires a count");
+            profilePeriod = static_cast<std::uint64_t>(
+                parsePositiveInt(argv[i + 1], "--profile-period-us"));
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--profile-topn") == 0) {
+            if (!has_value)
+                fatal("cli: --profile-topn requires a count");
+            profileTop =
+                parsePositiveInt(argv[i + 1], "--profile-topn");
+            consumeArgs(argc, argv, i, 2);
         } else {
             ++i;
         }
@@ -169,6 +187,14 @@ Session::Session(std::string name_in, int &argc, char **argv,
             metricsPath = env;
     if (const char *env = std::getenv("OTFT_METRICS_PERIOD_MS"))
         metricsPeriod = parsePositiveInt(env, "OTFT_METRICS_PERIOD_MS");
+    if (profilePath.empty())
+        if (const char *env = std::getenv("OTFT_PROFILE_FOLDED"))
+            profilePath = env;
+    if (const char *env = std::getenv("OTFT_PROFILE_PERIOD_US"))
+        profilePeriod = static_cast<std::uint64_t>(
+            parsePositiveInt(env, "OTFT_PROFILE_PERIOD_US"));
+    if (const char *env = std::getenv("OTFT_PROFILE_TOPN"))
+        profileTop = parsePositiveInt(env, "OTFT_PROFILE_TOPN");
     // OTFT_CACHE=0 disables memoization entirely (e.g. to benchmark
     // the uncached paths or bisect a suspected stale-entry problem).
     if (const char *env = std::getenv("OTFT_CACHE"))
@@ -199,6 +225,17 @@ Session::Session(std::string name_in, int &argc, char **argv,
         diag::Collector::instance().setDumpDirectory(diagDir);
     if (!metricsPath.empty())
         metrics::start(metricsPath, metricsPeriod);
+
+    // Profiler last: everything the session runs gets sampled, and
+    // the timeline (if any) carries a start marker so the sampled
+    // window is visible next to the spans.
+    if (!profilePath.empty()) {
+        validateWritable(profilePath, "--profile-folded");
+        trace::recordInstant("profiler.start");
+        prof::Options options;
+        options.periodUs = profilePeriod;
+        profiling = prof::Profiler::instance().start(options);
+    }
 }
 
 void
@@ -207,9 +244,37 @@ Session::addFooterField(const std::string &key, double value)
     footerExtras.emplace_back(key, value);
 }
 
+void
+Session::addFooterJson(const std::string &key, std::string raw_json)
+{
+    footerRawExtras.emplace_back(key, std::move(raw_json));
+}
+
 Session::~Session()
 {
-    // Stop the metrics sampler first: its final line should capture
+    // Stop the profiler first so its pool-attribution stats reach the
+    // registry before the metrics sampler takes its final snapshot
+    // and the stats reports render. The stop marker lands on the
+    // still-active timeline collection.
+    if (profiling) {
+        trace::recordInstant("profiler.stop");
+        prof::Profiler &profiler = prof::Profiler::instance();
+        profiler.stop();
+        std::ofstream os(profilePath);
+        if (!os) {
+            warn("cli: cannot write profile to ", profilePath);
+        } else {
+            profiler.writeFolded(os);
+            inform("profile: wrote ", profiler.folded().size(),
+                   " stacks (", profiler.sampleCount(),
+                   " samples) to ", profilePath);
+        }
+        std::fprintf(stderr, "\n== profile: %s ==\n", name.c_str());
+        profiler.writeTopReport(std::cerr, profileTop);
+        addFooterJson("profile", profiler.footerSection(profileTop));
+    }
+
+    // Stop the metrics sampler next: its final line should capture
     // the registry as the run ended, before any exit-path mutation.
     if (!metricsPath.empty()) {
         metrics::stop();
@@ -272,6 +337,8 @@ Session::~Session()
                     static_cast<long long>(points));
         for (const auto &[key, value] : footerExtras)
             std::printf(", \"%s\": %.6g", key.c_str(), value);
+        for (const auto &[key, raw] : footerRawExtras)
+            std::printf(", \"%s\": %s", key.c_str(), raw.c_str());
         std::printf("}\n");
     }
 }

@@ -16,6 +16,12 @@
  *   --metrics-jsonl <path>  stream periodic registry snapshots (JSONL)
  *   --metrics-period-ms <n> sampling period for --metrics-jsonl
  *                           (default 100)
+ *   --profile-folded <path>  run the sampling profiler and write the
+ *                            collapsed-stack (flamegraph) file on exit
+ *   --profile-period-us <n>  sampling period for --profile-folded
+ *                            (default 1000)
+ *   --profile-topn <n>       rows in the top-frames report and the
+ *                            footer profile section (default 5)
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
@@ -26,6 +32,9 @@
  *   OTFT_DIAG_DIR=dir     same as --diag-dir
  *   OTFT_METRICS_JSONL=path       same as --metrics-jsonl
  *   OTFT_METRICS_PERIOD_MS=n      same as --metrics-period-ms
+ *   OTFT_PROFILE_FOLDED=path      same as --profile-folded
+ *   OTFT_PROFILE_PERIOD_US=n      same as --profile-period-us
+ *   OTFT_PROFILE_TOPN=n           same as --profile-topn
  *
  * --jobs must be a positive integer; 0, negative, or non-numeric
  * values are fatal. Values above the hardware concurrency are clamped
@@ -81,6 +90,13 @@ class Session
      */
     void addFooterField(const std::string &key, double value);
 
+    /**
+     * Append a pre-rendered JSON value to the footer under `key`
+     * (e.g. the otft-prof-1 profile section). The caller guarantees
+     * `raw_json` is valid JSON.
+     */
+    void addFooterJson(const std::string &key, std::string raw_json);
+
     /** Parsed observability settings (exposed for tests). */
     bool statsTextEnabled() const { return statsText; }
     const std::string &statsJson() const { return statsJsonPath; }
@@ -98,6 +114,11 @@ class Session
     const std::string &metricsJsonl() const { return metricsPath; }
     int metricsPeriodMs() const { return metricsPeriod; }
 
+    /** Profiler settings (exposed for tests). */
+    const std::string &profileFolded() const { return profilePath; }
+    std::uint64_t profilePeriodUs() const { return profilePeriod; }
+    int profileTopN() const { return profileTop; }
+
   private:
     std::string name;
     bool footer;
@@ -110,7 +131,12 @@ class Session
     std::string diagJsonPath;
     std::string diagDir;
     std::string metricsPath;
+    std::string profilePath;
+    std::uint64_t profilePeriod = 1000;
+    int profileTop = 5;
+    bool profiling = false;
     std::vector<std::pair<std::string, double>> footerExtras;
+    std::vector<std::pair<std::string, std::string>> footerRawExtras;
     std::int64_t points = 0;
     std::int64_t startNs;
 };

@@ -7,6 +7,7 @@
 
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/profiler.hpp"
 #include "util/stats_registry.hpp"
 
 namespace otft::diag {
@@ -260,7 +261,15 @@ recordEvent(Event event)
 
 ScopedContext::ScopedContext(std::string label)
 {
-    if (label.empty() || !enabled())
+    if (label.empty())
+        return;
+    // The label doubles as one profiler stack frame, so a context is
+    // pushed whenever either consumer wants labels (labelsWanted()).
+    if (prof::enabled()) {
+        prof::pushFrame(label);
+        profPushed = true;
+    }
+    if (!enabled())
         return;
     saved = t_context;
     t_context = saved.empty() ? std::move(label)
@@ -272,12 +281,20 @@ ScopedContext::~ScopedContext()
 {
     if (pushed)
         t_context = std::move(saved);
+    if (profPushed)
+        prof::popFrame();
 }
 
 const std::string &
 ScopedContext::current()
 {
     return t_context;
+}
+
+bool
+labelsWanted()
+{
+    return enabled() || prof::enabled();
 }
 
 SolveProbe::SolveProbe(SolveKind kind)

@@ -182,17 +182,29 @@ enabled()
     return Collector::instance().enabled();
 }
 
+/**
+ * @return true when some consumer of context labels is active — the
+ * diagnostics collector or the sampling profiler (ScopedContext feeds
+ * both). Call sites that build labels dynamically should gate on this
+ * rather than enabled(), so profiled runs get labeled stacks:
+ *
+ *     diag::ScopedContext ctx(
+ *         diag::labelsWanted() ? "liberty." + name : std::string());
+ */
+bool labelsWanted();
+
 /** Record an event under the calling thread's current context. */
 void recordEvent(Event event);
 
 /**
  * Thread-local context label for aggregation ("liberty.inv.pin0").
- * Nested scopes join with '/'. Constructing with an empty label is a
- * no-op, so call sites can skip the string build entirely when the
- * collector is disabled:
+ * Nested scopes join with '/'. The label is also pushed as a frame on
+ * the sampling profiler's context stack while a collection runs.
+ * Constructing with an empty label is a no-op, so call sites can skip
+ * the string build entirely when no consumer is active:
  *
  *     diag::ScopedContext ctx(
- *         diag::enabled() ? "liberty." + name : std::string());
+ *         diag::labelsWanted() ? "liberty." + name : std::string());
  */
 class ScopedContext
 {
@@ -208,6 +220,7 @@ class ScopedContext
 
   private:
     bool pushed = false;
+    bool profPushed = false;
     std::string saved;
 };
 

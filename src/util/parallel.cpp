@@ -1,5 +1,6 @@
 #include "util/parallel.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -7,6 +8,8 @@
 #include <thread>
 
 #include "util/logging.hpp"
+#include "util/profiler.hpp"
+#include "util/stats_registry.hpp"
 
 namespace otft::parallel {
 
@@ -15,6 +18,41 @@ namespace {
 std::atomic<int> g_jobs{0}; // 0 = not yet initialized
 
 thread_local bool t_inside_worker = false;
+
+/**
+ * Pool-stats state. Worker slots live in a deque (stable references)
+ * keyed by the worker's spawn index; slots survive pool shutdown so
+ * cumulative totals span pool generations until resetPoolStats().
+ */
+struct WorkerSlot
+{
+    std::atomic<std::uint64_t> busyNs{0};
+    std::atomic<std::uint64_t> chunks{0};
+};
+
+std::atomic<bool> g_pool_stats{false};
+std::atomic<int> g_queue_depth{0};
+std::atomic<std::uint64_t> g_caller_busy_ns{0};
+std::atomic<std::uint64_t> g_caller_chunks{0};
+std::mutex g_slots_mutex;
+std::deque<WorkerSlot> &
+workerSlots()
+{
+    static std::deque<WorkerSlot> slots;
+    return slots;
+}
+
+thread_local WorkerSlot *t_slot = nullptr;
+
+WorkerSlot *
+claimWorkerSlot(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(g_slots_mutex);
+    std::deque<WorkerSlot> &slots = workerSlots();
+    while (slots.size() <= index)
+        slots.emplace_back();
+    return &slots[index];
+}
 
 /** One parallelFor invocation shared between caller and helpers. */
 struct Batch
@@ -46,6 +84,12 @@ struct Batch
     std::condition_variable doneCv;
     int activeHelpers = 0;
 
+    /** Pool-stats bookkeeping (only touched when stats are on). */
+    std::chrono::steady_clock::time_point submitTime{};
+    std::mutex statsMutex;
+    /** Busy ns of each participant (caller + helpers) this region. */
+    std::vector<std::uint64_t> participantBusyNs;
+
     bool
     hasWork() const
     {
@@ -76,26 +120,33 @@ recordError(Batch &batch, std::size_t index)
 void
 work(Batch &batch)
 {
+    prof::BusyScope busy_mark;
+    const bool stats_on = g_pool_stats.load(std::memory_order_relaxed);
+    std::uint64_t busy_ns = 0;
+    std::uint64_t chunks_run = 0;
     while (true) {
         if (batch.cancel && batch.cancel->cancelled()) {
             batch.cancelled.store(true, std::memory_order_relaxed);
-            return;
+            break;
         }
         std::size_t lo, hi;
         if (batch.chunking == Chunking::Static) {
             const std::size_t slot = batch.cursor.fetch_add(
                 1, std::memory_order_relaxed);
             if (slot >= batch.ranges.size())
-                return;
+                break;
             lo = batch.ranges[slot].first;
             hi = batch.ranges[slot].second;
         } else {
             lo = batch.cursor.fetch_add(batch.grain,
                                         std::memory_order_relaxed);
             if (lo >= batch.n)
-                return;
+                break;
             hi = std::min(lo + batch.grain, batch.n);
         }
+        std::chrono::steady_clock::time_point start{};
+        if (stats_on)
+            start = std::chrono::steady_clock::now();
         for (std::size_t i = lo; i < hi; ++i) {
             try {
                 (*batch.fn)(i);
@@ -103,7 +154,37 @@ work(Batch &batch)
                 recordError(batch, i);
             }
         }
+        if (stats_on) {
+            static stats::Histogram &stat_task_s = stats::histogram(
+                "parallel.pool.task_s", 0.0, 0.05, 50,
+                "per-chunk execution time in parallelFor regions");
+            const auto dt = std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() -
+                                start)
+                                .count();
+            busy_ns += static_cast<std::uint64_t>(dt);
+            ++chunks_run;
+            stat_task_s.sample(static_cast<double>(dt) * 1e-9);
+        }
     }
+    if (!stats_on)
+        return;
+    // Flush this participant's totals: into its worker slot (pool
+    // threads) or the shared caller counters, plus the per-region
+    // list the imbalance summary folds after retire().
+    if (t_slot) {
+        t_slot->busyNs.fetch_add(busy_ns, std::memory_order_relaxed);
+        t_slot->chunks.fetch_add(chunks_run,
+                                 std::memory_order_relaxed);
+    } else {
+        g_caller_busy_ns.fetch_add(busy_ns,
+                                   std::memory_order_relaxed);
+        g_caller_chunks.fetch_add(chunks_run,
+                                  std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(batch.statsMutex);
+    batch.participantBusyNs.push_back(busy_ns);
 }
 
 /** The process-wide worker pool (workers spawn lazily). */
@@ -135,9 +216,11 @@ struct Pool
     }
 
     void
-    workerLoop()
+    workerLoop(std::size_t index)
     {
         t_inside_worker = true;
+        prof::setThreadName("worker");
+        t_slot = claimWorkerSlot(index);
         while (true) {
             Batch *batch = nullptr;
             {
@@ -166,6 +249,20 @@ struct Pool
                 std::lock_guard<std::mutex> done(batch->doneMutex);
                 ++batch->activeHelpers;
             }
+            if (g_pool_stats.load(std::memory_order_relaxed)) {
+                static stats::Histogram &stat_queue_wait_s =
+                    stats::histogram(
+                        "parallel.pool.queue_wait_s", 0.0, 0.01, 50,
+                        "batch publish to helper pickup latency");
+                const auto wait =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() -
+                        batch->submitTime)
+                        .count();
+                stat_queue_wait_s.sample(static_cast<double>(wait) *
+                                         1e-9);
+            }
             work(*batch);
             {
                 // Notify while still holding doneMutex: the moment
@@ -185,16 +282,20 @@ struct Pool
     {
         std::lock_guard<std::mutex> lock(mutex);
         while (threads.size() < count)
-            threads.emplace_back([this] { workerLoop(); });
+            threads.emplace_back(
+                [this, index = threads.size()] { workerLoop(index); });
     }
 
     void
     submit(Batch &batch)
     {
+        if (g_pool_stats.load(std::memory_order_relaxed))
+            batch.submitTime = std::chrono::steady_clock::now();
         {
             std::lock_guard<std::mutex> lock(mutex);
             queue.push_back(&batch);
         }
+        g_queue_depth.fetch_add(1, std::memory_order_relaxed);
         cv.notify_all();
     }
 
@@ -215,6 +316,7 @@ struct Pool
                 }
             }
         }
+        g_queue_depth.fetch_sub(1, std::memory_order_relaxed);
         std::unique_lock<std::mutex> done(batch.doneMutex);
         batch.doneCv.wait(done,
                           [&] { return batch.activeHelpers == 0; });
@@ -287,6 +389,55 @@ shutdownPool()
     pool().shutdown();
 }
 
+void
+setPoolStatsEnabled(bool on)
+{
+    g_pool_stats.store(on, std::memory_order_relaxed);
+}
+
+bool
+poolStatsEnabled()
+{
+    return g_pool_stats.load(std::memory_order_relaxed);
+}
+
+PoolStats
+poolStatsSnapshot()
+{
+    PoolStats s;
+    {
+        std::lock_guard<std::mutex> lock(g_slots_mutex);
+        for (const WorkerSlot &slot : workerSlots()) {
+            s.workerBusyNs.push_back(
+                slot.busyNs.load(std::memory_order_relaxed));
+            s.workerChunks.push_back(
+                slot.chunks.load(std::memory_order_relaxed));
+        }
+    }
+    s.callerBusyNs = g_caller_busy_ns.load(std::memory_order_relaxed);
+    s.callerChunks = g_caller_chunks.load(std::memory_order_relaxed);
+    s.queueDepth = g_queue_depth.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetPoolStats()
+{
+    std::lock_guard<std::mutex> lock(g_slots_mutex);
+    for (WorkerSlot &slot : workerSlots()) {
+        slot.busyNs.store(0, std::memory_order_relaxed);
+        slot.chunks.store(0, std::memory_order_relaxed);
+    }
+    g_caller_busy_ns.store(0, std::memory_order_relaxed);
+    g_caller_chunks.store(0, std::memory_order_relaxed);
+}
+
+int
+queueDepth()
+{
+    return g_queue_depth.load(std::memory_order_relaxed);
+}
+
 bool
 parallelFor(std::size_t n,
             const std::function<void(std::size_t)> &fn,
@@ -331,6 +482,38 @@ parallelFor(std::size_t n,
     shared.submit(batch);
     work(batch);
     shared.retire(batch);
+
+    // End-of-region load-imbalance summary: every helper has drained,
+    // so participantBusyNs is complete and uncontended.
+    if (g_pool_stats.load(std::memory_order_relaxed) &&
+        !batch.participantBusyNs.empty()) {
+        static stats::Accumulator &stat_busy_max = stats::accumulator(
+            "parallel.region.busy_max_s",
+            "slowest participant's busy time per parallelFor region");
+        static stats::Accumulator &stat_busy_mean =
+            stats::accumulator(
+                "parallel.region.busy_mean_s",
+                "mean participant busy time per parallelFor region");
+        static stats::Accumulator &stat_imbalance =
+            stats::accumulator(
+                "parallel.region.imbalance",
+                "max/mean participant busy time per region (1.0 = "
+                "perfectly balanced)");
+        std::uint64_t max_ns = 0;
+        std::uint64_t sum_ns = 0;
+        for (const std::uint64_t ns : batch.participantBusyNs) {
+            max_ns = std::max(max_ns, ns);
+            sum_ns += ns;
+        }
+        const double mean_ns =
+            static_cast<double>(sum_ns) /
+            static_cast<double>(batch.participantBusyNs.size());
+        stat_busy_max.sample(static_cast<double>(max_ns) * 1e-9);
+        stat_busy_mean.sample(mean_ns * 1e-9);
+        if (mean_ns > 0.0)
+            stat_imbalance.sample(static_cast<double>(max_ns) /
+                                  mean_ns);
+    }
 
     if (batch.error)
         std::rethrow_exception(batch.error);

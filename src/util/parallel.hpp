@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -115,6 +116,40 @@ bool parallelFor(std::size_t n,
 
 /** @return true when the calling thread is a pool worker. */
 bool insideWorker();
+
+/**
+ * Scheduler observability. When enabled (by the sampling profiler at
+ * collection start, or directly by tests), the pool times every chunk
+ * it executes and publishes, per parallelFor region, queue-wait /
+ * task-duration histograms plus a load-imbalance summary (max / mean
+ * participant busy time) into the stats registry. Exact cumulative
+ * busy time and chunk counts per worker are kept here for snapshots.
+ * Off (the default), the pool takes no clock reads.
+ */
+void setPoolStatsEnabled(bool on);
+bool poolStatsEnabled();
+
+/** Cumulative pool accounting since the last resetPoolStats(). */
+struct PoolStats
+{
+    /** Busy nanoseconds per pool worker, indexed by worker slot. */
+    std::vector<std::uint64_t> workerBusyNs;
+    /** Chunks executed per pool worker. */
+    std::vector<std::uint64_t> workerChunks;
+    /** Busy nanoseconds spent by calling threads inside their own
+     *  parallelFor regions (the caller always participates). */
+    std::uint64_t callerBusyNs = 0;
+    /** Chunks executed by calling threads. */
+    std::uint64_t callerChunks = 0;
+    /** Batches currently published to the pool. */
+    int queueDepth = 0;
+};
+
+PoolStats poolStatsSnapshot();
+void resetPoolStats();
+
+/** Batches currently published to the pool (sampled by the profiler). */
+int queueDepth();
 
 /** Tear down the pool (used by tests; it re-spawns lazily). */
 void shutdownPool();

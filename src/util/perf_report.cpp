@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <ctime>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/profiler.hpp"
 #include "util/stats_registry.hpp"
 #include "util/table.hpp"
 
@@ -85,13 +89,18 @@ currentEnvironment()
 #endif
 #if defined(__unix__) || defined(__APPLE__)
     struct utsname uts;
-    if (uname(&uts) == 0)
+    if (uname(&uts) == 0) {
         env.os = std::string(uts.sysname) + " " + uts.release;
+        env.host = uts.nodename;
+    }
 #endif
     if (env.os.empty())
         env.os = "unknown";
+    if (env.host.empty())
+        env.host = "unknown";
     env.cpuCount =
         static_cast<int>(std::thread::hardware_concurrency());
+    env.jobs = parallel::jobs();
     std::time_t now = std::time(nullptr);
     std::tm tm_utc{};
 #if defined(__unix__) || defined(__APPLE__)
@@ -120,6 +129,23 @@ ScenarioSuite::add(Scenario scenario)
     items.push_back(std::move(scenario));
 }
 
+namespace {
+
+/** "liberty.nldm_characterize" -> "PROF_liberty_nldm_characterize". */
+std::string
+profileArtifactPath(const SuiteOptions &options,
+                    const std::string &scenario_name)
+{
+    std::string stem = scenario_name;
+    std::replace(stem.begin(), stem.end(), '.', '_');
+    std::string path = "PROF_" + stem + ".folded";
+    if (!options.profileDir.empty())
+        path = options.profileDir + "/" + path;
+    return path;
+}
+
+} // namespace
+
 std::vector<ScenarioResult>
 ScenarioSuite::run(const SuiteOptions &options) const
 {
@@ -143,6 +169,15 @@ ScenarioSuite::run(const SuiteOptions &options) const
             (void)scenario.run();
         registry.reset();
         const auto before = registry.counterSnapshot();
+        // Profile only the timed reps: setup and warmup would
+        // otherwise dominate short scenarios with one-time work.
+        bool profiling = false;
+        if (options.profile) {
+            prof::Options prof_options;
+            prof_options.periodUs = options.profilePeriodUs;
+            profiling =
+                prof::Profiler::instance().start(prof_options);
+        }
         for (std::uint64_t i = 0; i < options.reps; ++i) {
             const std::int64_t t0 = stats::monotonicNowNs();
             result.points = scenario.run();
@@ -150,7 +185,30 @@ ScenarioSuite::run(const SuiteOptions &options) const
             result.samplesS.push_back(
                 static_cast<double>(t1 - t0) * 1e-9);
         }
+        // Snapshot the counters before the profiler stops: the
+        // profiler publishes its own (run-to-run noisy) sample
+        // counters at stop, and those must not join the scenario's
+        // deterministic counter deltas.
         const auto after = registry.counterSnapshot();
+        if (profiling) {
+            prof::Profiler &profiler = prof::Profiler::instance();
+            profiler.stop();
+            const std::string path =
+                profileArtifactPath(options, scenario.name);
+            std::ofstream os(path);
+            if (!os) {
+                warn("perf: cannot write profile to ", path);
+            } else {
+                profiler.writeFolded(os);
+                inform("perf: profile for ", scenario.name, ": ",
+                       profiler.folded().size(), " stacks (",
+                       profiler.sampleCount(), " samples) -> ",
+                       path);
+            }
+            std::cerr << "\n== profile: " << scenario.name
+                      << " ==\n";
+            profiler.writeTopReport(std::cerr, options.profileTopN);
+        }
         for (const auto &[name, value] : after) {
             auto it = before.find(name);
             const std::uint64_t prior =
@@ -202,7 +260,10 @@ writeReport(const BenchReport &report, std::ostream &os)
     os << "    \"build_type\": \""
        << json::escape(report.env.buildType) << "\",\n";
     os << "    \"os\": \"" << json::escape(report.env.os) << "\",\n";
+    os << "    \"host\": \"" << json::escape(report.env.host)
+       << "\",\n";
     os << "    \"cpu_count\": " << report.env.cpuCount << ",\n";
+    os << "    \"jobs\": " << report.env.jobs << ",\n";
     os << "    \"timestamp_utc\": \""
        << json::escape(report.env.timestampUtc) << "\"\n";
     os << "  },\n";
@@ -262,8 +323,11 @@ readReport(std::istream &is)
         report.env.compiler = env.string("compiler", "unknown");
         report.env.buildType = env.string("build_type", "unknown");
         report.env.os = env.string("os", "unknown");
+        report.env.host = env.string("host", "unknown");
         report.env.cpuCount =
             static_cast<int>(env.number("cpu_count"));
+        if (env.has("jobs"))
+            report.env.jobs = static_cast<int>(env.number("jobs"));
         report.env.timestampUtc = env.string("timestamp_utc");
     }
     if (!doc.has("scenarios"))
@@ -378,11 +442,54 @@ classify(double baseline, double current, double gate)
 
 } // namespace
 
+namespace {
+
+/**
+ * Fill diff.envWarnings with fingerprint mismatches. A field that is
+ * "unknown" (or 0 for the integer fields) on either side predates the
+ * fingerprint or failed to record, and is skipped: old baselines must
+ * not warn on every diff.
+ */
+void
+compareEnvironments(const EnvFingerprint &baseline,
+                    const EnvFingerprint &current, DiffReport &diff)
+{
+    const auto check_string = [&diff](const char *what,
+                                      const std::string &base,
+                                      const std::string &cur) {
+        if (base.empty() || cur.empty() || base == "unknown" ||
+            cur == "unknown" || base == cur)
+            return;
+        diff.envWarnings.push_back(std::string(what) +
+                                   " mismatch: baseline '" + base +
+                                   "' vs current '" + cur + "'");
+    };
+    const auto check_int = [&diff](const char *what, int base,
+                                   int cur) {
+        if (base == 0 || cur == 0 || base == cur)
+            return;
+        diff.envWarnings.push_back(
+            std::string(what) + " mismatch: baseline " +
+            std::to_string(base) + " vs current " +
+            std::to_string(cur));
+    };
+    check_string("host", baseline.host, current.host);
+    check_string("git sha", baseline.gitSha, current.gitSha);
+    check_int("jobs", baseline.jobs, current.jobs);
+    check_int("cpu count", baseline.cpuCount, current.cpuCount);
+    check_string("compiler", baseline.compiler, current.compiler);
+    check_string("build type", baseline.buildType,
+                 current.buildType);
+}
+
+} // namespace
+
 DiffReport
 diffReports(const BenchReport &baseline, const BenchReport &current,
             const DiffOptions &options)
 {
     DiffReport diff;
+    compareEnvironments(baseline.env, current.env, diff);
     std::map<std::string, const ScenarioResult *> base_by_name;
     for (const ScenarioResult &s : baseline.scenarios)
         base_by_name[s.name] = &s;
@@ -467,6 +574,11 @@ diffReports(const BenchReport &baseline, const BenchReport &current,
 void
 renderDiff(const DiffReport &diff, std::ostream &os)
 {
+    for (const std::string &warning : diff.envWarnings)
+        os << "warning: env " << warning
+           << " (comparing across environments)\n";
+    if (!diff.envWarnings.empty())
+        os << "\n";
     Table table({"scenario", "metric", "baseline", "current", "delta",
                  "gate", "verdict"});
     for (const DiffEntry &entry : diff.entries) {
@@ -515,6 +627,11 @@ renderDiffMarkdown(const DiffReport &diff, std::ostream &os)
         return out;
     };
 
+    for (const std::string &warning : diff.envWarnings)
+        os << "> **warning:** env " << warning
+           << " (comparing across environments)\n";
+    if (!diff.envWarnings.empty())
+        os << "\n";
     os << "| scenario | metric | baseline | current | delta | gate "
           "| verdict |\n";
     os << "| --- | --- | ---: | ---: | ---: | ---: | --- |\n";

@@ -84,7 +84,11 @@ struct EnvFingerprint
     std::string compiler;
     std::string buildType;
     std::string os;
+    /** Machine name (uname nodename); "unknown" in old reports. */
+    std::string host;
     int cpuCount = 0;
+    /** parallel::jobs() at record time; 0 in old reports. */
+    int jobs = 0;
     std::string timestampUtc;
 };
 
@@ -133,6 +137,17 @@ struct SuiteOptions
     std::uint64_t warmup = 1;
     /** Substring filter on scenario names; empty runs everything. */
     std::string filter;
+    /**
+     * Run the sampling profiler across each scenario's timed reps
+     * (setup and warmup stay unsampled) and write one collapsed-stack
+     * artifact per scenario: `PROF_<name>.folded` (dots in the name
+     * become underscores) under profileDir (default: cwd).
+     */
+    bool profile = false;
+    std::string profileDir;
+    std::uint64_t profilePeriodUs = 1000;
+    /** Rows in the per-scenario top-frames report on stderr. */
+    int profileTopN = 5;
 };
 
 /** An ordered collection of runnable scenarios. */
@@ -236,6 +251,14 @@ struct DiffReport
     std::vector<DiffEntry> entries;
     int regressions = 0;
     int improvements = 0;
+    /**
+     * Environment fingerprint mismatches between the two reports
+     * (host, git SHA, job count, ...): the comparison still runs, but
+     * both renderers surface these so an apples-to-oranges diff is
+     * never silent. Fields that are "unknown"/0 on either side (old
+     * reports predating the field) are not flagged.
+     */
+    std::vector<std::string> envWarnings;
 };
 
 /** Compare `current` against `baseline` under the gate options. */

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * In-process sampling profiler with worker-pool attribution.
+ *
+ * A dedicated sampler thread wakes on a configurable period (default
+ * 1 ms) and walks every registered thread's context stack — the
+ * frames pushed by `OTFT_TRACE_SCOPE` spans and `diag::ScopedContext`
+ * labels already threaded through circuit, liberty, sta, core, and
+ * arch — accumulating one count per distinct stack. On stop() the
+ * collection is available as:
+ *
+ *  - a collapsed-stack ("folded") stream, one `root;a;b N` line per
+ *    stack, directly consumable by flamegraph.pl and speedscope;
+ *  - a top-N self/total text report (self = samples where the frame
+ *    was the leaf, total = samples where it appeared anywhere);
+ *  - a compact schema-versioned `otft-prof-1` JSON section that
+ *    cli::Session merges into the bench stats footer.
+ *
+ * Stack roots name the sampled thread's role ("main" for the session
+ * owner, "worker" for util/parallel pool threads) — deliberately
+ * without a numeric id, so stack labels are deterministic across runs
+ * and job counts. Worker-pool attribution (per-worker busy fractions,
+ * queue-depth histogram) is sampled by the same thread and published
+ * into the stats registry at stop(); see util/parallel for the exact
+ * busy-time accounting the pool records itself.
+ *
+ * Cost model: while the profiler is *disabled* (the default), a frame
+ * push is one relaxed atomic load — call sites pay nothing else.
+ * While enabled, a push copies the label into preallocated per-thread
+ * storage under that thread's own (uncontended) mutex; the sampler
+ * try-locks it, so a sample can never block the workload — a
+ * collision is counted as a dropped sample instead.
+ */
+
+#ifndef OTFT_UTIL_PROFILER_HPP
+#define OTFT_UTIL_PROFILER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace otft::prof {
+
+/** Schema tag of the JSON section merged into the stats footer. */
+inline constexpr const char *profSchema = "otft-prof-1";
+
+namespace detail {
+/** Master enable; read on every frame push (relaxed). */
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** @return true while a sampling collection is running. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Sampler controls. */
+struct Options
+{
+    /** Sampling period in microseconds (>= 50). */
+    std::uint64_t periodUs = 1000;
+};
+
+/** One aggregated call stack: "root;frame;frame" and its samples. */
+struct FoldedStack
+{
+    std::string stack;
+    std::uint64_t count = 0;
+};
+
+/** Per-frame aggregate for the top-N report. */
+struct FrameTotals
+{
+    std::string label;
+    /** Samples with this frame as the innermost (leaf) frame. */
+    std::uint64_t self = 0;
+    /** Samples with this frame anywhere on the stack (once each). */
+    std::uint64_t total = 0;
+};
+
+/** The process-wide sampling profiler. */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /**
+     * Begin a collection. @return false (with a warning) when one is
+     * already running — nested collections are not supported, so e.g.
+     * `perf_suite --profile` under a session-wide `--profile-folded`
+     * keeps the outer collection. Clears the previous results.
+     */
+    bool start(const Options &options = {});
+
+    /**
+     * Join the sampler and aggregate the collection. Publishes the
+     * pool-attribution stats (per-worker busy fraction accumulator,
+     * busy/idle sample counters) into the stats registry. Idempotent.
+     */
+    void stop();
+
+    bool running() const;
+
+    /** Samples taken so far (readable while running). */
+    std::uint64_t sampleCount() const;
+    /** Stack walks skipped because the owner held its frame lock. */
+    std::uint64_t droppedSamples() const;
+    /** The period of the last (or current) collection. */
+    std::uint64_t periodUs() const;
+
+    /** Aggregated stacks of the last collection, sorted by name. */
+    std::vector<FoldedStack> folded() const;
+
+    /** Self/total per frame label, sorted by self descending. */
+    std::vector<FrameTotals> frameTotals() const;
+
+    /** Write the collapsed-stack stream (`stack N` per line). */
+    void writeFolded(std::ostream &os) const;
+
+    /** Render the top-N self/total table. */
+    void writeTopReport(std::ostream &os, int top_n) const;
+
+    /**
+     * The compact otft-prof-1 JSON object (schema, period, samples,
+     * dropped, threads, stacks, top frames) for the bench footer.
+     */
+    std::string footerSection(int top_n = 5) const;
+
+    /** Drop the last collection's results. */
+    void reset();
+
+  private:
+    Profiler() = default;
+};
+
+/**
+ * Parse a writeFolded() stream back into stacks (round-trip tests and
+ * artifact validation). Malformed lines are skipped.
+ */
+std::vector<FoldedStack> parseFolded(std::istream &is);
+
+/**
+ * Push/pop one frame on the calling thread's context stack. Callers
+ * must pair them exactly; use FrameGuard unless the enclosing object
+ * already tracks whether it pushed (trace::Span, diag::ScopedContext).
+ * `;`, whitespace, and control characters in labels are mapped to '_'
+ * so the folded format stays parseable.
+ */
+void pushFrame(const char *label, std::size_t len);
+void popFrame();
+
+inline void
+pushFrame(const char *label)
+{
+    pushFrame(label, std::strlen(label));
+}
+
+inline void
+pushFrame(const std::string &label)
+{
+    pushFrame(label.data(), label.size());
+}
+
+/**
+ * RAII frame for hot paths that have no trace span (Newton kernel, LTE
+ * control): one relaxed atomic load when the profiler is disabled.
+ */
+class FrameGuard
+{
+  public:
+    explicit FrameGuard(const char *label)
+    {
+        if (enabled()) {
+            pushFrame(label);
+            pushed = true;
+        }
+    }
+    explicit FrameGuard(const std::string &label)
+    {
+        if (enabled()) {
+            pushFrame(label);
+            pushed = true;
+        }
+    }
+    ~FrameGuard()
+    {
+        if (pushed)
+            popFrame();
+    }
+
+    FrameGuard(const FrameGuard &) = delete;
+    FrameGuard &operator=(const FrameGuard &) = delete;
+
+  private:
+    bool pushed = false;
+};
+
+/**
+ * Name the calling thread's stack root ("worker" for pool threads).
+ * Unnamed threads sample under "main". Cheap: stores a pointer to the
+ * literal; no registration happens until the thread pushes a frame or
+ * marks itself busy during a collection.
+ */
+void setThreadName(const char *name);
+
+/**
+ * RAII busy marker for worker-pool attribution: while alive, the
+ * sampler counts the calling thread as busy. One relaxed atomic load
+ * when the profiler is disabled.
+ */
+class BusyScope
+{
+  public:
+    BusyScope();
+    ~BusyScope();
+
+    BusyScope(const BusyScope &) = delete;
+    BusyScope &operator=(const BusyScope &) = delete;
+
+  private:
+    std::atomic<bool> *busy = nullptr;
+};
+
+} // namespace otft::prof
+
+#endif // OTFT_UTIL_PROFILER_HPP

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -16,6 +17,9 @@ namespace {
 
 /** Keep at most this many durations for the median estimate. */
 constexpr std::size_t maxDurations = 4096;
+
+/** Minimum window folded into the rate EWMA (jitter floor). */
+constexpr double minRateWindowS = 0.05;
 
 enum class Policy { Off, ForcedOn, TtyOnly };
 
@@ -87,7 +91,7 @@ enabled()
 
 Reporter::Reporter(Options options)
     : options_(std::move(options)), startNs_(stats::monotonicNowNs()),
-      renders_(enabled()), tty_(stderrIsTty())
+      renders_(enabled()), tty_(stderrIsTty()), lastRateNs_(startNs_)
 {
     options_.watchdogMultiple =
         watchdogMultipleOverride(options_.watchdogMultiple);
@@ -103,6 +107,8 @@ Reporter::itemDone(double duration_s)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++completed_;
+    ++pendingItems_;
+    updateRateLocked();
 
     if (duration_s > 0.0 && options_.watchdogMultiple > 0.0) {
         if (durations_.size() >= options_.watchdogMinSamples) {
@@ -167,13 +173,52 @@ Reporter::line() const
     return lineLocked();
 }
 
+/**
+ * Fold the items finished since the last window into the EWMA with a
+ * time-based weight, alpha = 1 - exp(-dt / tau): irregular arrival
+ * gaps get proportionally more weight, so the smoothed rate is
+ * independent of how bursty the ticks are. Windows shorter than
+ * minRateWindowS accumulate (a pool retiring a whole chunk at once
+ * must count as one burst, not N infinite instantaneous rates).
+ */
+void
+Reporter::updateRateLocked()
+{
+    if (options_.rateTauS <= 0.0)
+        return;
+    const std::int64_t now = stats::monotonicNowNs();
+    const double dt = static_cast<double>(now - lastRateNs_) * 1e-9;
+    if (dt < minRateWindowS)
+        return;
+    const double inst = static_cast<double>(pendingItems_) / dt;
+    if (!ewmaInit_) {
+        ewmaRate_ = inst;
+        ewmaInit_ = true;
+    } else {
+        const double alpha = 1.0 - std::exp(-dt / options_.rateTauS);
+        ewmaRate_ += alpha * (inst - ewmaRate_);
+    }
+    pendingItems_ = 0;
+    lastRateNs_ = now;
+}
+
+double
+Reporter::smoothedRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ewmaInit_ ? ewmaRate_ : 0.0;
+}
+
 std::string
 Reporter::lineLocked() const
 {
     const double elapsed =
         static_cast<double>(stats::monotonicNowNs() - startNs_) * 1e-9;
-    const double rate =
+    // In-flight lines show the EWMA-smoothed rate (steadier ETA); the
+    // final summary keeps the honest whole-run average.
+    const double raw =
         elapsed > 0.0 ? static_cast<double>(completed_) / elapsed : 0.0;
+    const double rate = !finished_ && ewmaInit_ ? ewmaRate_ : raw;
 
     std::ostringstream oss;
     oss << options_.label << ": " << completed_;

@@ -52,6 +52,14 @@ struct Options
     double watchdogMultiple = 8.0;
     /** Durations needed before the watchdog starts judging. */
     std::size_t watchdogMinSamples = 8;
+    /**
+     * Time constant (seconds) of the EWMA that smooths the displayed
+     * items/sec rate — bursty sweeps (a parallel pool retiring a
+     * chunk at once) otherwise make the ETA jitter. <= 0 disables
+     * smoothing. The final summary line always shows the raw
+     * whole-run rate.
+     */
+    double rateTauS = 5.0;
 };
 
 /**
@@ -85,10 +93,17 @@ class Reporter
     /** The status line as it would render now (exposed for tests). */
     std::string line() const;
 
+    /**
+     * The EWMA-smoothed items/sec rate (0 until the first update
+     * window closes; exposed for tests).
+     */
+    double smoothedRate() const;
+
   private:
     std::string lineLocked() const;
     double medianLocked() const;
     void maybeRenderLocked();
+    void updateRateLocked();
 
     Options options_;
     mutable std::mutex mutex_;
@@ -100,6 +115,11 @@ class Reporter
     bool renders_;
     bool tty_;
     bool finished_ = false;
+    /** EWMA rate state (see updateRateLocked). */
+    double ewmaRate_ = 0.0;
+    bool ewmaInit_ = false;
+    std::int64_t lastRateNs_ = 0;
+    std::size_t pendingItems_ = 0;
     /** Completed-task durations for the median (capped; see cpp). */
     std::vector<double> durations_;
 };

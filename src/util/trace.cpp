@@ -229,4 +229,11 @@ recordEvent(const char *name, std::int64_t start_ns,
     buffer->events.push_back({name, start_ns, end_ns});
 }
 
+void
+recordInstant(const char *name)
+{
+    const std::int64_t now_ns = stats::monotonicNowNs();
+    recordEvent(name, now_ns, now_ns);
+}
+
 } // namespace otft::trace

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/profiler.hpp"
 #include "util/stats_registry.hpp"
 
 namespace otft::trace {
@@ -57,9 +58,17 @@ void recordEvent(const char *name, std::int64_t start_ns,
                  std::int64_t end_ns);
 
 /**
+ * Record a zero-width marker on the timeline (profiler start/stop,
+ * phase boundaries). No-op unless a collection is active.
+ */
+void recordInstant(const char *name);
+
+/**
  * RAII span: on destruction samples elapsed seconds into the given
  * registry accumulator and, when a timeline collection is active,
- * records a trace_event. Inert when both are off.
+ * records a trace_event. The span also doubles as one frame of the
+ * sampling profiler's context stack while a collection runs. Inert
+ * when all three are off (one extra relaxed load for the profiler).
  */
 class Span
 {
@@ -70,10 +79,16 @@ class Span
     {
         if (active)
             startNs = stats::monotonicNowNs();
+        if (prof::enabled()) {
+            prof::pushFrame(name);
+            profPushed = true;
+        }
     }
 
     ~Span()
     {
+        if (profPushed)
+            prof::popFrame();
         if (!active)
             return;
         const std::int64_t end_ns = stats::monotonicNowNs();
@@ -90,6 +105,7 @@ class Span
     const char *name;
     stats::Accumulator &acc;
     bool active;
+    bool profPushed = false;
     std::int64_t startNs;
 };
 

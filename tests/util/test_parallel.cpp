@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -231,6 +232,89 @@ TEST(Parallel, OrderedReduceFloatSumMatchesSerialBitwise)
             [](double acc, double item) { return acc + item; });
     };
     EXPECT_EQ(run(1), run(8));
+}
+
+TEST(Parallel, PoolStatsOffByDefaultAndQueueIdle)
+{
+    EXPECT_FALSE(parallel::poolStatsEnabled());
+    EXPECT_EQ(parallel::queueDepth(), 0);
+}
+
+/** Toggle pool-stats accounting for one test, restoring on exit. */
+class PoolStatsScope
+{
+  public:
+    PoolStatsScope() : was_(parallel::poolStatsEnabled())
+    {
+        parallel::setPoolStatsEnabled(true);
+        parallel::resetPoolStats();
+    }
+    ~PoolStatsScope()
+    {
+        parallel::setPoolStatsEnabled(was_);
+    }
+
+  private:
+    bool was_;
+};
+
+TEST(Parallel, PoolStatsCountChunksExactly)
+{
+    PoolStatsScope stats_on;
+    parallel::JobsOverride pin(4);
+    constexpr std::size_t n = 200;
+    parallel::ForOptions options;
+    options.grain = 1; // one chunk per index: counts must be exact
+    std::atomic<std::size_t> ran{0};
+    parallel::parallelFor(
+        n, [&](std::size_t) { ++ran; }, options);
+    ASSERT_EQ(ran.load(), n);
+
+    const parallel::PoolStats snapshot = parallel::poolStatsSnapshot();
+    std::uint64_t chunks = snapshot.callerChunks;
+    for (const std::uint64_t c : snapshot.workerChunks)
+        chunks += c;
+    // Every executed chunk is attributed exactly once, to the caller
+    // or to one worker slot — no double counting, nothing dropped.
+    EXPECT_EQ(chunks, n);
+    EXPECT_EQ(snapshot.queueDepth, 0);
+}
+
+TEST(Parallel, PoolStatsBusyTimeCoversTheWorkload)
+{
+    PoolStatsScope stats_on;
+    parallel::JobsOverride pin(4);
+    constexpr std::size_t n = 32;
+    constexpr auto napMs = std::chrono::milliseconds(2);
+    parallel::ForOptions options;
+    options.grain = 1;
+    parallel::parallelFor(
+        n, [&](std::size_t) { std::this_thread::sleep_for(napMs); },
+        options);
+
+    const parallel::PoolStats snapshot = parallel::poolStatsSnapshot();
+    std::uint64_t busy_ns = snapshot.callerBusyNs;
+    for (const std::uint64_t ns : snapshot.workerBusyNs)
+        busy_ns += ns;
+    // Summed busy time across participants must cover the sleeps
+    // (generous halving: sleep_for may round, clocks may coarsen).
+    const std::uint64_t floor_ns = n * 2'000'000ull / 2;
+    EXPECT_GE(busy_ns, floor_ns);
+}
+
+TEST(Parallel, PoolStatsResetClearsTotals)
+{
+    PoolStatsScope stats_on;
+    parallel::JobsOverride pin(4);
+    parallel::parallelFor(64, [](std::size_t) {});
+    parallel::resetPoolStats();
+    const parallel::PoolStats snapshot = parallel::poolStatsSnapshot();
+    EXPECT_EQ(snapshot.callerChunks, 0u);
+    EXPECT_EQ(snapshot.callerBusyNs, 0u);
+    for (std::size_t i = 0; i < snapshot.workerChunks.size(); ++i) {
+        EXPECT_EQ(snapshot.workerChunks[i], 0u) << "slot " << i;
+        EXPECT_EQ(snapshot.workerBusyNs[i], 0u) << "slot " << i;
+    }
 }
 
 TEST(Parallel, PoolRespawnsAfterShutdown)

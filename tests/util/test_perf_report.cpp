@@ -313,6 +313,80 @@ TEST(PerfReport, EnvironmentFingerprintIsPopulated)
     EXPECT_FALSE(env.os.empty());
     EXPECT_FALSE(env.timestampUtc.empty());
     EXPECT_GE(env.cpuCount, 1);
+    EXPECT_FALSE(env.host.empty());
+    EXPECT_GE(env.jobs, 1);
+}
+
+TEST(PerfReport, HostAndJobsRoundTripThroughTheReport)
+{
+    BenchReport original = makeReport(1.0, 1000.0);
+    original.env.host = "bench-host-a";
+    original.env.jobs = 8;
+    std::stringstream ss;
+    writeReport(original, ss);
+    const BenchReport parsed = readReport(ss);
+    EXPECT_EQ(parsed.env.host, "bench-host-a");
+    EXPECT_EQ(parsed.env.jobs, 8);
+}
+
+TEST(PerfReport, DiffWarnsOnMismatchedEnvironments)
+{
+    BenchReport baseline = makeReport(1.0, 1000.0);
+    BenchReport current = makeReport(1.0, 1000.0);
+    baseline.env.host = "bench-host-a";
+    current.env.host = "laptop-b";
+    baseline.env.jobs = 8;
+    current.env.jobs = 2;
+    const DiffReport diff = diffReports(baseline, current);
+    // Env drift warns; it never turns a clean diff into a failure.
+    EXPECT_EQ(diff.regressions, 0);
+    ASSERT_GE(diff.envWarnings.size(), 2u);
+    bool host_warned = false;
+    bool jobs_warned = false;
+    for (const std::string &warning : diff.envWarnings) {
+        if (warning.find("bench-host-a") != std::string::npos &&
+            warning.find("laptop-b") != std::string::npos)
+            host_warned = true;
+        if (warning.find("jobs") != std::string::npos)
+            jobs_warned = true;
+    }
+    EXPECT_TRUE(host_warned);
+    EXPECT_TRUE(jobs_warned);
+
+    // Both renderers surface the warnings.
+    std::ostringstream text;
+    renderDiff(diff, text);
+    EXPECT_NE(text.str().find("warning: env"), std::string::npos);
+    std::ostringstream md;
+    renderDiffMarkdown(diff, md);
+    EXPECT_NE(md.str().find("**warning:**"), std::string::npos);
+}
+
+TEST(PerfReport, DiffSkipsEnvChecksForOldReports)
+{
+    BenchReport baseline = makeReport(1.0, 1000.0);
+    BenchReport current = makeReport(1.0, 1000.0);
+    // Reports written before the fingerprint grew these fields read
+    // back as "unknown"/0 and must not warn against real values.
+    baseline.env.host = "unknown";
+    baseline.env.jobs = 0;
+    current.env.host = "bench-host-a";
+    current.env.jobs = 8;
+    const DiffReport diff = diffReports(baseline, current);
+    EXPECT_TRUE(diff.envWarnings.empty())
+        << diff.envWarnings.front();
+}
+
+TEST(PerfReport, MatchingEnvironmentsDiffWithoutWarnings)
+{
+    BenchReport baseline = makeReport(1.0, 1000.0);
+    BenchReport current = makeReport(1.0, 1000.0);
+    baseline.env.host = "bench-host-a";
+    current.env.host = "bench-host-a";
+    baseline.env.jobs = 8;
+    current.env.jobs = 8;
+    const DiffReport diff = diffReports(baseline, current);
+    EXPECT_TRUE(diff.envWarnings.empty());
 }
 
 } // namespace

@@ -6,7 +6,9 @@
  * rendering-independent surface that drives it.
  */
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -110,6 +112,55 @@ TEST(Progress, ZeroDurationsSkipTheWatchdogSampleSet)
         reporter.itemDone(0.0);
     EXPECT_EQ(reporter.watchdogFlags(), 0u);
     EXPECT_EQ(reporter.completed(), 10u);
+}
+
+TEST(Progress, SmoothedRateWaitsForTheFirstWindow)
+{
+    Reporter reporter(quietOptions(0));
+    // Ticks inside the minimum window accumulate without closing it.
+    reporter.itemDone(0.0);
+    reporter.itemDone(0.0);
+    EXPECT_EQ(reporter.smoothedRate(), 0.0);
+    // Cross the window: the first EWMA sample seeds from all pending
+    // items at once.
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    reporter.itemDone(0.0);
+    EXPECT_GT(reporter.smoothedRate(), 0.0);
+}
+
+TEST(Progress, SmoothedRateDisabledByNonPositiveTau)
+{
+    Options o = quietOptions(0);
+    o.rateTauS = 0.0;
+    Reporter reporter(o);
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    reporter.itemDone(0.0);
+    EXPECT_EQ(reporter.smoothedRate(), 0.0);
+    // The status line still shows the raw rate.
+    EXPECT_NE(reporter.line().find("/s"), std::string::npos);
+}
+
+TEST(Progress, SmoothedRateDampsABurstAfterIdle)
+{
+    Options o = quietOptions(0);
+    o.rateTauS = 5.0;
+    Reporter reporter(o);
+    // Seed a slow rate: one item over ~70 ms.
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    reporter.itemDone(0.0);
+    const double seeded = reporter.smoothedRate();
+    ASSERT_GT(seeded, 0.0);
+    // Burst 200 items (they accumulate as one pending window), then
+    // close the window with a final tick: the EWMA moves up, but the
+    // long time constant keeps it far below the burst's
+    // items-per-window rate (thousands per second here).
+    for (int i = 0; i < 200; ++i)
+        reporter.itemDone(0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    reporter.itemDone(0.0);
+    const double smoothed = reporter.smoothedRate();
+    EXPECT_GT(smoothed, seeded);
+    EXPECT_LT(smoothed, 500.0);
 }
 
 TEST(Progress, DoneIsIdempotentAndDestructorSafe)
