@@ -3,8 +3,8 @@
 # the tier1-labelled test suite. This is the gate every change must
 # pass; CI runs exactly this script.
 #
-# Usage: scripts/verify.sh [--tsan|--asan|--bench|--diag|--profile]
-#        [build-dir]
+# Usage: scripts/verify.sh [--tsan|--asan|--bench|--diag|--profile|
+#        --mc] [build-dir]
 #
 #   --tsan   build with -fsanitize=thread into <build-dir>-tsan and
 #            run the concurrency-labelled tests under it
@@ -24,6 +24,12 @@
 #            is non-empty and the otft-prof-1 footer parses, then run
 #            the profile_smoke-labelled ctest suite. Wall-clock
 #            sensitive, so opt-in rather than tier-1.
+#   --mc     Monte Carlo smoke lane: run the mc_smoke-labelled ctest
+#            suite (full-roster 16-sample statistical
+#            characterization), then run bench/mc_characterize end to
+#            end, writing the three corner .lib artifacts and
+#            re-validating them from disk with --check. Tens of
+#            seconds of solver time, so opt-in rather than tier-1.
 #
 # The sanitizer lanes keep their own build trees so the default tree
 # stays warm for the plain gate.
@@ -35,6 +41,7 @@ TEST_LABEL="tier1"
 PERF_SMOKE=0
 DIAG_SMOKE=0
 PROFILE_SMOKE=0
+MC_SMOKE=0
 if [[ "${1:-}" == "--tsan" ]]; then
     SANITIZE="thread"
     LANE_SUFFIX="-tsan"
@@ -52,6 +59,9 @@ elif [[ "${1:-}" == "--diag" ]]; then
     shift
 elif [[ "${1:-}" == "--profile" ]]; then
     PROFILE_SMOKE=1
+    shift
+elif [[ "${1:-}" == "--mc" ]]; then
+    MC_SMOKE=1
     shift
 fi
 
@@ -130,6 +140,30 @@ if [[ "${PROFILE_SMOKE}" == "1" ]]; then
     ctest --test-dir "${BUILD_DIR}" -L profile_smoke \
         --output-on-failure -j "${JOBS}"
     echo "profile lane ok"
+    exit 0
+fi
+
+if [[ "${MC_SMOKE}" == "1" ]]; then
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+        --target mc_characterize test_mc_smoke
+    ctest --test-dir "${BUILD_DIR}" -L mc_smoke \
+        --output-on-failure -j "${JOBS}"
+    MC_DIR="${BUILD_DIR}/mc_smoke_artifacts"
+    mkdir -p "${MC_DIR}"
+    # End-to-end artifact path: characterize 16 samples, write the
+    # three corner libraries, then reload and validate them from disk
+    # exactly as yield_sweep would consume them.
+    "${BUILD_DIR}/bench/mc_characterize" --mc-samples 16 --mc-seed 1 \
+        --out-prefix "${MC_DIR}/organic_mc"
+    for corner in mean slow fast; do
+        if [ ! -s "${MC_DIR}/organic_mc_${corner}.lib" ]; then
+            echo "error: organic_mc_${corner}.lib missing" >&2
+            exit 1
+        fi
+    done
+    "${BUILD_DIR}/bench/mc_characterize" \
+        --out-prefix "${MC_DIR}/organic_mc" --check
+    echo "mc lane ok"
     exit 0
 fi
 

@@ -1,0 +1,165 @@
+#include "core/yield_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sta/corners.hpp"
+#include "util/logging.hpp"
+#include "util/stats_registry.hpp"
+#include "util/trace.hpp"
+
+namespace otft::core {
+
+double
+YieldCurve::yieldAtFrequency(double frequency) const
+{
+    if (frequency <= 0.0)
+        fatal("yieldAtFrequency: frequency must be > 0");
+    const double period = 1.0 / frequency;
+    if (periodSigma <= 0.0)
+        return period >= meanPeriod ? 1.0 : 0.0;
+    return sta::normalCdf((period - meanPeriod) / periodSigma);
+}
+
+double
+YieldCurve::frequencyAtYield(double target_yield) const
+{
+    if (!(target_yield > 0.0 && target_yield < 1.0))
+        fatal("frequencyAtYield: yield must lie in (0, 1), got ",
+              target_yield);
+    const double period =
+        meanPeriod + sta::normalQuantile(target_yield) * periodSigma;
+    if (period <= 0.0)
+        fatal("frequencyAtYield: non-positive period at yield ",
+              target_yield);
+    return 1.0 / period;
+}
+
+YieldExplorer::YieldExplorer(const liberty::StatLibrary &stat,
+                             YieldExplorerConfig config)
+    : mean_(stat.mean), slow_(stat.slow),
+      cornerSigma_(stat.cornerSigma), config_(config),
+      meanExplorer_(mean_, config.explorer),
+      slowExplorer_(slow_, config.explorer)
+{
+    if (!(config_.targetYield > 0.0 && config_.targetYield < 1.0))
+        fatal("YieldExplorer: target yield must lie in (0, 1), got ",
+              config_.targetYield);
+    if (cornerSigma_ <= 0.0)
+        fatal("YieldExplorer: statistical library has no corner "
+              "deration (cornerSigma <= 0)");
+}
+
+YieldDesignPoint
+YieldExplorer::combine(DesignPoint nominal,
+                       const DesignPoint &slow) const
+{
+    YieldDesignPoint point;
+    point.slowPeriod = slow.timing.clockPeriod;
+    point.periodSigma =
+        std::max(slow.timing.clockPeriod -
+                     nominal.timing.clockPeriod,
+                 0.0) /
+        cornerSigma_;
+    point.targetYield = config_.targetYield;
+    const double period =
+        nominal.timing.clockPeriod +
+        sta::normalQuantile(config_.targetYield) * point.periodSigma;
+    if (period <= 0.0)
+        fatal("YieldExplorer: non-positive sign-off period");
+    point.yieldFrequency = 1.0 / period;
+    point.yieldPerformance = nominal.meanIpc * point.yieldFrequency;
+    point.nominal = std::move(nominal);
+    return point;
+}
+
+YieldDesignPoint
+YieldExplorer::evaluate(const arch::CoreConfig &config)
+{
+    static stats::Counter &stat_points = stats::counter(
+        "yield.points.evaluated",
+        "design points evaluated at mean+slow corners");
+    OTFT_TRACE_SCOPE("core.yield.evaluate");
+    ++stat_points;
+    DesignPoint nominal = meanExplorer_.evaluate(config);
+    const DesignPoint slow = slowExplorer_.evaluate(config);
+    return combine(std::move(nominal), slow);
+}
+
+YieldCurve
+YieldExplorer::yieldCurve(const arch::CoreConfig &config, int n_points)
+{
+    if (n_points < 2)
+        fatal("yieldCurve: need at least 2 points, got ", n_points);
+    OTFT_TRACE_SCOPE("core.yield.curve");
+    const YieldDesignPoint point = evaluate(config);
+
+    YieldCurve curve;
+    curve.libraryName = mean_.name();
+    curve.config = point.nominal.config;
+    curve.meanPeriod = point.nominal.timing.clockPeriod;
+    curve.slowPeriod = point.slowPeriod;
+    curve.periodSigma = point.periodSigma;
+    curve.meanIpc = point.nominal.meanIpc;
+
+    // Sweep the period over mean +- 3.5 sigma (clamped positive);
+    // emitted in increasing frequency so the curve reads left to
+    // right as "faster binning, lower yield".
+    const double span = 3.5 * point.periodSigma;
+    const double t_hi = curve.meanPeriod + span;
+    const double t_lo =
+        std::max(curve.meanPeriod - span, 0.05 * curve.meanPeriod);
+    for (int i = 0; i < n_points; ++i) {
+        const double t =
+            t_hi + (t_lo - t_hi) * static_cast<double>(i) /
+                       static_cast<double>(n_points - 1);
+        YieldPoint yp;
+        yp.frequency = 1.0 / t;
+        yp.yield = curve.yieldAtFrequency(yp.frequency);
+        curve.points.push_back(yp);
+    }
+    return curve;
+}
+
+YieldDepthSweep
+YieldExplorer::depthSweepAtYield(int max_stages)
+{
+    OTFT_TRACE_SCOPE("core.yield.depth_sweep");
+    const DepthSweep nominal = meanExplorer_.depthSweep(max_stages);
+    YieldDepthSweep sweep;
+    sweep.libraryName = mean_.name();
+    sweep.targetYield = config_.targetYield;
+    for (const DesignPoint &point : nominal.points) {
+        const DesignPoint slow = slowExplorer_.evaluate(point.config);
+        sweep.points.push_back(combine(point, slow));
+    }
+    return sweep;
+}
+
+YieldWidthSweep
+YieldExplorer::widthSweepAtYield(int fe_min, int fe_max, int be_min,
+                                 int be_max)
+{
+    OTFT_TRACE_SCOPE("core.yield.width_sweep");
+    const WidthSweep nominal =
+        meanExplorer_.widthSweep(fe_min, fe_max, be_min, be_max);
+    YieldWidthSweep sweep;
+    sweep.libraryName = mean_.name();
+    sweep.targetYield = config_.targetYield;
+    sweep.feMin = nominal.feMin;
+    sweep.feMax = nominal.feMax;
+    sweep.beMin = nominal.beMin;
+    sweep.beMax = nominal.beMax;
+    for (const auto &row : nominal.points) {
+        std::vector<YieldDesignPoint> out_row;
+        for (const DesignPoint &point : row) {
+            const DesignPoint slow =
+                slowExplorer_.evaluate(point.config);
+            out_row.push_back(combine(point, slow));
+        }
+        sweep.points.push_back(std::move(out_row));
+    }
+    return sweep;
+}
+
+} // namespace otft::core

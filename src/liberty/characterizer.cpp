@@ -60,6 +60,7 @@ hashMeasurementContext(cache::KeyHasher &h,
     h.add(v.vdd).add(v.vss);
 
     h.add(cfg.dt).add(cfg.slewLow).add(cfg.slewHigh);
+    h.add(cfg.settleScale);
 
     h.add(tran.dt).add(tran.tStop).add(tran.fixedStep);
     h.add(tran.lteTol).add(tran.dtMin).add(tran.dtMax);
@@ -137,6 +138,7 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
     // tens of milliseconds through the series pull-up).
     const double load_mult = load_cap / factory.inputCap();
     const double settle =
+        config_.settleScale *
         std::max(8.0 * t_edge, 0.4e-3 * (1.0 + 0.5 * load_mult));
     const double t1 = 15e-6;
     const double t2 = t1 + t_edge + settle;
@@ -209,11 +211,27 @@ Characterizer::measurePoint(const std::string &name, int pin, double slew,
     const double v_hi = out.value.front();
     const double v_lo = out.at(t2 - 0.05 * settle);
 
+    // Delay = input 50% crossing to output 50% crossing. The output
+    // crossing is searched from its edge start (not from the input
+    // reference): a sample whose switching threshold sits past the
+    // 50% mark — routine under Monte Carlo VT shifts — completes the
+    // output transition at a slow slew *before* the input reference
+    // crossing, which is a zero-delay arc, not a failure. Nominal
+    // arcs cross after the reference, so their measured values are
+    // unchanged; early crossings clamp to zero.
+    const auto delay = [&](bool in_rising, bool out_rising,
+                           double in_from, double out_from) {
+        const double t_in =
+            in.firstCrossing(0.5 * vdd, in_rising, in_from);
+        const double t_out = out.firstCrossing(
+            0.5 * (v_lo + v_hi), out_rising, out_from);
+        if (t_in < 0.0 || t_out < 0.0)
+            return -1.0;
+        return std::max(t_out - t_in, 0.0);
+    };
     ArcPoint point;
-    point.delayFall = circuit::measureDelay(in, out, 0.0, vdd, true,
-                                            v_lo, v_hi, false, 0.0);
-    point.delayRise = circuit::measureDelay(in, out, 0.0, vdd, false,
-                                            v_lo, v_hi, true, t2);
+    point.delayFall = delay(true, false, 0.0, t1);
+    point.delayRise = delay(false, true, t2, t2);
     point.slewFall = circuit::measureSlew(out, v_lo, v_hi, config_.slewLow,
                                           config_.slewHigh, false, t1);
     point.slewRise = circuit::measureSlew(out, v_lo, v_hi, config_.slewLow,
@@ -506,6 +524,14 @@ Characterizer::build() const
     for (StdCell &cell : cells)
         library.addCell(std::move(cell));
 
+    applyOrganicTechnology(library, config_);
+    return library;
+}
+
+void
+applyOrganicTechnology(CellLibrary &library,
+                       const CharacterizerConfig &config)
+{
     // Printed Au interconnect on glass: wide, thick wires over a
     // low-k substrate; net lengths scale with the ~0.5 mm cell pitch.
     WireParams &wire = library.wire();
@@ -515,10 +541,9 @@ Characterizer::build() const
     wire.lengthPerFanout = 0.25e-3;
     wire.driverRes = 1.7e6;       // ~5 V / 3 uA drive
 
-    library.setDefaultSlew(config_.slewAxis[1]);
+    library.setDefaultSlew(config.slewAxis[1]);
     // Clock skew/jitter margin: a small fraction of the ~5 ms cycle.
     library.setClockMargin(3e-6);
-    return library;
 }
 
 CellLibrary

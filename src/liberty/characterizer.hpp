@@ -35,6 +35,13 @@ struct CharacterizerConfig
     double slewLow = 0.2;
     double slewHigh = 0.8;
     /**
+     * Multiplier on the post-edge settling window. The nominal
+     * windows carry ~8-10x headroom over the slowest golden-device
+     * arcs; Monte Carlo characterization of slow process samples
+     * widens them so a 3-sigma mobility draw still settles.
+     */
+    double settleScale = 1.0;
+    /**
      * Memoize arc points and operating points in the process-wide
      * result cache (util/result_cache.hpp). Hits are used verbatim as
      * results, so output is bit-identical with the cache cold, warm,
@@ -97,6 +104,15 @@ class Characterizer
      */
     mutable progress::Reporter *progress_ = nullptr;
 };
+
+/**
+ * Apply the organic technology constants (printed Au interconnect,
+ * default slew, clock margin) to a characterized library. Shared by
+ * the nominal build and the Monte Carlo per-sample assemblies so
+ * every organic library variant carries identical wire parameters.
+ */
+void applyOrganicTechnology(CellLibrary &library,
+                            const CharacterizerConfig &config);
 
 /**
  * Build the full organic cell library (characterizes on first use;

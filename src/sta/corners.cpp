@@ -1,0 +1,129 @@
+#include "sta/corners.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/trace.hpp"
+
+namespace otft::sta {
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+normalQuantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        fatal("normalQuantile: p must lie in (0, 1), got ", p);
+
+    // Acklam's rational approximation, three regimes.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    double x;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                 r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                 r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+               c[4]) *
+                  q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement against the exact CDF.
+    const double e = normalCdf(x) - p;
+    const double u =
+        e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double
+CornerStaResult::periodSigma() const
+{
+    if (cornerSigma <= 0.0)
+        return 0.0;
+    return std::max(slow.minClockPeriod - mean.minClockPeriod, 0.0) /
+           cornerSigma;
+}
+
+double
+CornerStaResult::yieldAtPeriod(double period) const
+{
+    const double sigma = periodSigma();
+    if (sigma <= 0.0)
+        return period >= mean.minClockPeriod ? 1.0 : 0.0;
+    return normalCdf((period - mean.minClockPeriod) / sigma);
+}
+
+double
+CornerStaResult::frequencyAtYield(double target_yield) const
+{
+    if (!(target_yield > 0.0 && target_yield < 1.0))
+        fatal("frequencyAtYield: yield must lie in (0, 1), got ",
+              target_yield);
+    const double period = mean.minClockPeriod +
+                          normalQuantile(target_yield) * periodSigma();
+    if (period <= 0.0)
+        fatal("frequencyAtYield: non-positive period at yield ",
+              target_yield);
+    return 1.0 / period;
+}
+
+CornerStaEngine::CornerStaEngine(const liberty::StatLibrary &stat,
+                                 StaConfig config)
+    : mean_(stat.mean), slow_(stat.slow), fast_(stat.fast),
+      cornerSigma_(stat.cornerSigma), config_(config)
+{}
+
+CornerStaResult
+CornerStaEngine::analyze(const netlist::Netlist &netlist) const
+{
+    OTFT_TRACE_SCOPE("sta.corners.analyze");
+    CornerStaResult result;
+    result.cornerSigma = cornerSigma_;
+    result.mean = StaEngine(mean_, config_).analyze(netlist);
+    result.slow = StaEngine(slow_, config_).analyze(netlist);
+    result.fast = StaEngine(fast_, config_).analyze(netlist);
+    return result;
+}
+
+} // namespace otft::sta

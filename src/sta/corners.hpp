@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Corner-aware static timing analysis.
+ *
+ * Multi-corner sign-off in miniature: analyze one netlist under the
+ * mean, slow, and fast statistical libraries (liberty/mc_characterizer)
+ * and combine the results into a Gaussian clock-period model. The slow
+ * corner gates sign-off frequency, the fast corner bounds hold-style
+ * margins, and the (mean, slow) pair recovers the per-design period
+ * sigma that the yield explorer (core/yield_explorer.hpp) turns into
+ * yield-vs-frequency curves:
+ *
+ *     sigma_period = (slowPeriod - meanPeriod) / cornerSigma
+ *
+ * StaEngine holds its library by reference, so CornerStaEngine owns
+ * copies of all three corner libraries — callers may drop the
+ * StatLibrary after construction.
+ */
+
+#ifndef OTFT_STA_CORNERS_HPP
+#define OTFT_STA_CORNERS_HPP
+
+#include "liberty/mc_characterizer.hpp"
+#include "sta/sta.hpp"
+
+namespace otft::sta {
+
+/** STA results of one netlist at the three process corners. */
+struct CornerStaResult
+{
+    StaResult mean;
+    StaResult slow;
+    StaResult fast;
+    /** Deration the corners were built at, standard deviations. */
+    double cornerSigma = 3.0;
+
+    /**
+     * Standard deviation of the clock period implied by the corner
+     * spread: (slow - mean) / cornerSigma. Zero when the corners were
+     * built with cornerSigma == 0.
+     */
+    double periodSigma() const;
+
+    /**
+     * Fraction of manufactured instances meeting `period` (seconds),
+     * under the Gaussian period model. 0.5 at the mean period, ~0.999
+     * at the slow corner for 3-sigma deration.
+     */
+    double yieldAtPeriod(double period) const;
+
+    /**
+     * Fastest clock (hertz) at which a `target_yield` fraction of
+     * instances still meets timing. Inverse of yieldAtPeriod.
+     */
+    double frequencyAtYield(double target_yield) const;
+};
+
+/** Timing engine bound to a statistical-library triple. */
+class CornerStaEngine
+{
+  public:
+    CornerStaEngine(const liberty::StatLibrary &stat,
+                    StaConfig config = {});
+
+    /** Analyze one netlist at all three corners. */
+    CornerStaResult analyze(const netlist::Netlist &netlist) const;
+
+    const liberty::CellLibrary &meanLibrary() const { return mean_; }
+    const liberty::CellLibrary &slowLibrary() const { return slow_; }
+    const liberty::CellLibrary &fastLibrary() const { return fast_; }
+    double cornerSigma() const { return cornerSigma_; }
+
+  private:
+    liberty::CellLibrary mean_;
+    liberty::CellLibrary slow_;
+    liberty::CellLibrary fast_;
+    double cornerSigma_;
+    StaConfig config_;
+};
+
+/** Standard normal CDF (exact, via erfc). */
+double normalCdf(double z);
+
+/**
+ * Standard normal quantile (inverse CDF), |error| < 1.2e-9 over
+ * (0, 1) via Acklam's rational approximation plus one Halley
+ * refinement step. Fatal outside (0, 1).
+ */
+double normalQuantile(double p);
+
+} // namespace otft::sta
+
+#endif // OTFT_STA_CORNERS_HPP

@@ -66,6 +66,42 @@ parsePositiveInt(const std::string &text, const char *source)
     return static_cast<int>(value);
 }
 
+/** Parse a non-negative decimal uint64 (RNG seed); fatal otherwise. */
+std::uint64_t
+parseSeed(const std::string &text, const char *source)
+{
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+        value = std::stoull(text, &consumed);
+    } catch (const std::exception &) {
+        fatal("cli: ", source, " must be a non-negative integer, "
+              "got '", text, "'");
+    }
+    if (consumed != text.size() || text[0] == '-')
+        fatal("cli: ", source, " must be a non-negative integer, "
+              "got '", text, "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+/** Parse a yield fraction strictly inside (0, 1); fatal otherwise. */
+double
+parseYield(const std::string &text, const char *source)
+{
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &consumed);
+    } catch (const std::exception &) {
+        fatal("cli: ", source, " must be a number in (0, 1), got '",
+              text, "'");
+    }
+    if (consumed != text.size() || !(value > 0.0 && value < 1.0))
+        fatal("cli: ", source, " must lie strictly in (0, 1), got '",
+              text, "'");
+    return value;
+}
+
 /**
  * Parse and validate a --jobs/OTFT_JOBS value: a positive decimal
  * integer, clamped to the hardware concurrency. 0, negative, or
@@ -92,6 +128,9 @@ Session::Session(std::string name_in, int &argc, char **argv,
     : name(std::move(name_in)), footer(footer_in == Footer::On),
       startNs(stats::monotonicNowNs())
 {
+    bool mc_samples_set = false;
+    bool mc_seed_set = false;
+    bool mc_yield_set = false;
     int i = 1;
     while (i < argc) {
         const char *arg = argv[i];
@@ -157,6 +196,25 @@ Session::Session(std::string name_in, int &argc, char **argv,
             profileTop =
                 parsePositiveInt(argv[i + 1], "--profile-topn");
             consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--mc-samples") == 0) {
+            if (!has_value)
+                fatal("cli: --mc-samples requires a count");
+            mcSamples_ =
+                parsePositiveInt(argv[i + 1], "--mc-samples");
+            mc_samples_set = true;
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--mc-seed") == 0) {
+            if (!has_value)
+                fatal("cli: --mc-seed requires a seed");
+            mcSeed_ = parseSeed(argv[i + 1], "--mc-seed");
+            mc_seed_set = true;
+            consumeArgs(argc, argv, i, 2);
+        } else if (std::strcmp(arg, "--mc-yield") == 0) {
+            if (!has_value)
+                fatal("cli: --mc-yield requires a fraction");
+            mcYield_ = parseYield(argv[i + 1], "--mc-yield");
+            mc_yield_set = true;
+            consumeArgs(argc, argv, i, 2);
         } else {
             ++i;
         }
@@ -195,6 +253,15 @@ Session::Session(std::string name_in, int &argc, char **argv,
             parsePositiveInt(env, "OTFT_PROFILE_PERIOD_US"));
     if (const char *env = std::getenv("OTFT_PROFILE_TOPN"))
         profileTop = parsePositiveInt(env, "OTFT_PROFILE_TOPN");
+    if (!mc_samples_set)
+        if (const char *env = std::getenv("OTFT_MC_SAMPLES"))
+            mcSamples_ = parsePositiveInt(env, "OTFT_MC_SAMPLES");
+    if (!mc_seed_set)
+        if (const char *env = std::getenv("OTFT_MC_SEED"))
+            mcSeed_ = parseSeed(env, "OTFT_MC_SEED");
+    if (!mc_yield_set)
+        if (const char *env = std::getenv("OTFT_MC_YIELD"))
+            mcYield_ = parseYield(env, "OTFT_MC_YIELD");
     // OTFT_CACHE=0 disables memoization entirely (e.g. to benchmark
     // the uncached paths or bisect a suspected stale-entry problem).
     if (const char *env = std::getenv("OTFT_CACHE"))

@@ -22,6 +22,10 @@
  *                            (default 1000)
  *   --profile-topn <n>       rows in the top-frames report and the
  *                            footer profile section (default 5)
+ *   --mc-samples <n>      Monte Carlo process samples (default 16)
+ *   --mc-seed <n>         Monte Carlo master seed (default 1)
+ *   --mc-yield <y>        target parametric yield in (0, 1)
+ *                         (default 0.99)
  *   OTFT_STATS=1          same as --stats
  *   OTFT_STATS_JSON=path  same as --stats-json
  *   OTFT_TRACE_JSON=path  same as --trace-json
@@ -35,6 +39,9 @@
  *   OTFT_PROFILE_FOLDED=path      same as --profile-folded
  *   OTFT_PROFILE_PERIOD_US=n      same as --profile-period-us
  *   OTFT_PROFILE_TOPN=n           same as --profile-topn
+ *   OTFT_MC_SAMPLES=n     same as --mc-samples
+ *   OTFT_MC_SEED=n        same as --mc-seed
+ *   OTFT_MC_YIELD=y       same as --mc-yield
  *
  * --jobs must be a positive integer; 0, negative, or non-numeric
  * values are fatal. Values above the hardware concurrency are clamped
@@ -119,6 +126,14 @@ class Session
     std::uint64_t profilePeriodUs() const { return profilePeriod; }
     int profileTopN() const { return profileTop; }
 
+    /**
+     * Monte Carlo settings for benches that characterize or sign off
+     * under process variation (--mc-samples / --mc-seed / --mc-yield).
+     */
+    int mcSamples() const { return mcSamples_; }
+    std::uint64_t mcSeed() const { return mcSeed_; }
+    double mcYield() const { return mcYield_; }
+
   private:
     std::string name;
     bool footer;
@@ -134,6 +149,9 @@ class Session
     std::string profilePath;
     std::uint64_t profilePeriod = 1000;
     int profileTop = 5;
+    int mcSamples_ = 16;
+    std::uint64_t mcSeed_ = 1;
+    double mcYield_ = 0.99;
     bool profiling = false;
     std::vector<std::pair<std::string, double>> footerExtras;
     std::vector<std::pair<std::string, std::string>> footerRawExtras;

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Counter-based, stream-splittable deterministic random numbers.
+ *
+ * The Monte Carlo layers need a property the sequential xoshiro Rng
+ * cannot give them: every sample (and every device inside a sample)
+ * must draw the *same* values no matter which worker thread computes
+ * it, how the index space is chunked, or in what order samples run.
+ * StreamRng provides that by construction: a stream is identified by
+ * a (seed, key) pair, the key is derived from a stable instance path
+ * string ("mc/sample/7/cell/nand2"), and the i-th draw of a stream is
+ * a pure function of (seed, key, i) — a splitmix64-style finalizer
+ * applied to a per-stream base plus a Weyl-sequence counter. There is
+ * no shared state, so substreams can be created on any thread at any
+ * time and results are bit-identical across `--jobs` and chunking.
+ */
+
+#ifndef OTFT_UTIL_STREAM_RNG_HPP
+#define OTFT_UTIL_STREAM_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace otft {
+
+/**
+ * Stable 64-bit key for an instance path. FNV-1a over the bytes, so
+ * the key depends only on the string — rebuilding a circuit or
+ * re-running a sweep yields the same keys and therefore the same
+ * draws.
+ */
+inline std::uint64_t
+streamKey(const std::string &path)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    for (unsigned char c : path) {
+        h ^= c;
+        h *= 1099511628211ULL; // FNV prime
+    }
+    return h;
+}
+
+/**
+ * A counter-based random stream. Copyable; copies continue the draw
+ * sequence independently from the copy point.
+ */
+class StreamRng
+{
+  public:
+    /** Root stream of a seed (key 0). */
+    explicit StreamRng(std::uint64_t seed = 1)
+        : StreamRng(seed, std::uint64_t{0})
+    {}
+
+    /** Stream (seed, key). Distinct keys give independent streams. */
+    StreamRng(std::uint64_t seed, std::uint64_t key)
+    {
+        // Two finalizer rounds decorrelate the base from both inputs;
+        // seed and key enter asymmetrically so (a, b) != (b, a).
+        base = mix(mix(seed + 0x9e3779b97f4a7c15ULL) ^
+                   mix(key * 0xbf58476d1ce4e5b9ULL + 1));
+    }
+
+    /** Stream keyed by a stable instance path. */
+    StreamRng(std::uint64_t seed, const std::string &path)
+        : StreamRng(seed, streamKey(path))
+    {}
+
+    /**
+     * Child stream keyed by a path segment, independent of this
+     * stream's draw position (deriving a substream never consumes or
+     * depends on draws).
+     */
+    StreamRng
+    substream(const std::string &path) const
+    {
+        return StreamRng(base, streamKey(path));
+    }
+
+    /** Child stream keyed by an index (sample number, device slot). */
+    StreamRng
+    substream(std::uint64_t index) const
+    {
+        return StreamRng(base, index * 0x9e3779b97f4a7c15ULL + 1);
+    }
+
+    /** @return next raw 64-bit value: mix(base + i * odd-constant). */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t v =
+            mix(base + (++counter) * 0x9e3779b97f4a7c15ULL);
+        return v;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return standard normal deviate (Box-Muller, cached spare). */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        constexpr double two_pi = 6.283185307179586476925286766559;
+        spare = mag * std::sin(two_pi * u2);
+        haveSpare = true;
+        return mag * std::cos(two_pi * u2);
+    }
+
+    /** @return normal deviate with the given mean and std deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /** Draws consumed from this stream so far. */
+    std::uint64_t position() const { return counter; }
+
+  private:
+    /** splitmix64 finalizer (Stafford mix13 constants). */
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t base = 0;
+    std::uint64_t counter = 0;
+    double spare = 0.0;
+    bool haveSpare = false;
+};
+
+} // namespace otft
+
+#endif // OTFT_UTIL_STREAM_RNG_HPP

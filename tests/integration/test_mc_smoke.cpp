@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Monte Carlo smoke lane: the full-roster 16-sample statistical
+ * characterization, end to end, exactly as `bench/mc_characterize`
+ * runs it. Labeled `mc_smoke` (opt-in: `ctest -L mc_smoke`, run by
+ * scripts/verify.sh --mc) instead of tier1 — it is the one test that
+ * pays for the whole samples x cells transient fan-out, tens of
+ * seconds of solver time on a cold cache.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "liberty/mc_characterizer.hpp"
+#include "liberty/serialize.hpp"
+
+namespace otft {
+namespace {
+
+TEST(McSmoke, FullRosterSixteenSampleCharacterization)
+{
+    liberty::McConfig config; // defaults: 16 samples, 6 cells, seed 1
+    const liberty::StatLibrary stat =
+        liberty::McCharacterizer(config).run();
+
+    // The triple validates: finite tables, slow >= mean >= fast.
+    const std::string error = liberty::validateStatLibrary(
+        stat.mean, stat.slow, stat.fast);
+    EXPECT_TRUE(error.empty()) << error;
+
+    ASSERT_EQ(stat.cells.size(), config.roster.size());
+    EXPECT_EQ(stat.samples, 16);
+
+    // Every cell shows real spread: the paper's published VT band
+    // (0.5 V across a sample) must translate into a measurably
+    // nonzero per-arc delay sigma, and the flop must carry sequential
+    // statistics.
+    for (const liberty::CellStats &cell : stat.cells) {
+        const double frac = cell.meanDelaySigmaFraction();
+        EXPECT_GT(frac, 0.01) << cell.name;
+        EXPECT_LT(frac, 1.0) << cell.name;
+        EXPECT_GT(cell.leakageMean, 0.0) << cell.name;
+        if (cell.name == "dff") {
+            EXPECT_GT(cell.clkToQMean, 0.0);
+            EXPECT_GT(cell.clkToQSigma, 0.0);
+            EXPECT_GT(cell.setupSigma, 0.0);
+        }
+    }
+
+    // The corner libraries serialize and reload bit-exact, so the
+    // artifacts bench/mc_characterize writes are trustworthy.
+    for (const liberty::CellLibrary *corner :
+         {&stat.mean, &stat.slow, &stat.fast}) {
+        std::ostringstream first;
+        liberty::writeLibrary(first, *corner);
+        std::istringstream in(first.str());
+        const liberty::CellLibrary reloaded =
+            liberty::readLibrary(in);
+        std::ostringstream second;
+        liberty::writeLibrary(second, reloaded);
+        EXPECT_EQ(first.str(), second.str());
+    }
+}
+
+} // namespace
+} // namespace otft

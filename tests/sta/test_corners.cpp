@@ -1,0 +1,119 @@
+/** @file Tests for corner-aware STA and the Gaussian yield model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "liberty/mc_characterizer.hpp"
+#include "liberty/silicon.hpp"
+#include "netlist/generators.hpp"
+#include "sta/corners.hpp"
+
+namespace otft::sta {
+namespace {
+
+netlist::Netlist
+registeredChain(int length)
+{
+    netlist::Netlist nl;
+    netlist::NetBuilder b(nl);
+    auto g = b.input("a");
+    g = b.dff(g);
+    for (int i = 0; i < length; ++i)
+        g = b.notGate(g);
+    g = b.dff(g);
+    b.output("o", g);
+    return nl;
+}
+
+liberty::StatLibrary
+siliconCorners(double sigma_fraction = 0.02, double corner_sigma = 3.0)
+{
+    return liberty::scaledCorners(liberty::makeSiliconLibrary(),
+                                  sigma_fraction, corner_sigma,
+                                  "silicon_corner_test");
+}
+
+TEST(NormalMath, CdfMatchesKnownValues)
+{
+    EXPECT_DOUBLE_EQ(normalCdf(0.0), 0.5);
+    EXPECT_NEAR(normalCdf(1.0), 0.841344746, 1e-8);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655254, 1e-8);
+    EXPECT_NEAR(normalCdf(3.0), 0.998650102, 1e-8);
+    EXPECT_NEAR(normalCdf(6.0), 1.0, 1e-9);
+}
+
+TEST(NormalMath, QuantileMatchesKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963985, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.99), 2.326347874, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.001), -3.090232306, 1e-8);
+}
+
+TEST(NormalMath, QuantileInvertsCdf)
+{
+    for (double p : {1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0 - 1e-6})
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-9);
+    for (double z : {-4.0, -1.5, 0.0, 0.7, 2.5, 4.0})
+        EXPECT_NEAR(normalQuantile(normalCdf(z)), z, 1e-7);
+}
+
+TEST(CornerSta, AnalyzeOrdersCornersAndRecoversSigma)
+{
+    const auto stat = siliconCorners();
+    CornerStaEngine engine(stat);
+    const auto r = engine.analyze(registeredChain(8));
+    EXPECT_GT(r.slow.minClockPeriod, r.mean.minClockPeriod);
+    EXPECT_LT(r.fast.minClockPeriod, r.mean.minClockPeriod);
+    // sigma = (slow - mean) / cornerSigma, strictly positive here.
+    EXPECT_NEAR(r.periodSigma(),
+                (r.slow.minClockPeriod - r.mean.minClockPeriod) / 3.0,
+                1e-18);
+    EXPECT_GT(r.periodSigma(), 0.0);
+}
+
+TEST(CornerSta, YieldModelBehavesLikeAGaussian)
+{
+    const auto stat = siliconCorners();
+    CornerStaEngine engine(stat);
+    const auto r = engine.analyze(registeredChain(8));
+    // Half the instances meet the mean period.
+    EXPECT_NEAR(r.yieldAtPeriod(r.mean.minClockPeriod), 0.5, 1e-12);
+    // The slow corner is the cornerSigma quantile.
+    EXPECT_NEAR(r.yieldAtPeriod(r.slow.minClockPeriod),
+                normalCdf(r.cornerSigma), 1e-9);
+    // Monotone increasing in period.
+    const double t = r.mean.minClockPeriod;
+    EXPECT_LT(r.yieldAtPeriod(0.9 * t), r.yieldAtPeriod(1.1 * t));
+}
+
+TEST(CornerSta, FrequencyAtYieldInvertsYieldAtPeriod)
+{
+    const auto stat = siliconCorners();
+    CornerStaEngine engine(stat);
+    const auto r = engine.analyze(registeredChain(8));
+    for (double y : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+        const double f = r.frequencyAtYield(y);
+        ASSERT_GT(f, 0.0);
+        EXPECT_NEAR(r.yieldAtPeriod(1.0 / f), y, 1e-9);
+    }
+    // Higher yield targets demand slower clocks.
+    EXPECT_GT(r.frequencyAtYield(0.5), r.frequencyAtYield(0.99));
+}
+
+TEST(CornerSta, ZeroSigmaCornersDegenerateToStepYield)
+{
+    // cornerSigma == 0 (or identical corners): the Gaussian collapses
+    // to a step at the mean period.
+    const auto stat = siliconCorners(0.0, 3.0);
+    CornerStaEngine engine(stat);
+    const auto r = engine.analyze(registeredChain(4));
+    EXPECT_DOUBLE_EQ(r.periodSigma(), 0.0);
+    const double t = r.mean.minClockPeriod;
+    EXPECT_DOUBLE_EQ(r.yieldAtPeriod(t * 1.01), 1.0);
+    EXPECT_DOUBLE_EQ(r.yieldAtPeriod(t * 0.99), 0.0);
+}
+
+} // namespace
+} // namespace otft::sta
