@@ -1,0 +1,675 @@
+#include "circuit/batch_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/profiler.hpp"
+#include "util/stats_registry.hpp"
+
+namespace otft::circuit {
+
+namespace {
+
+stats::Counter &
+statFactorLanes()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.batch.lu.factor_lanes",
+        "lane factorizations performed by the batched LU");
+    return c;
+}
+
+stats::Counter &
+statSingularLanes()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.batch.lu.singular_lanes",
+        "batched LU lanes that hit a near-zero pivot");
+    return c;
+}
+
+stats::Counter &
+statSolveLanes()
+{
+    static stats::Counter &c = stats::counter(
+        "circuit.batch.lu.solve_lanes",
+        "lane triangular solves against stored batched factors");
+    return c;
+}
+
+} // namespace
+
+BatchedLu::BatchedLu(std::size_t n, std::size_t lanes)
+    : n_(n), lanes_(lanes), lu_(n * n * lanes, 0.0),
+      perm_(n * lanes, 0), valid_(lanes, 0), pb_(n * lanes, 0.0)
+{
+    // Identity permutations so stale lanes stay in-bounds when the
+    // full-width solve sweeps over them.
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t l = 0; l < lanes_; ++l)
+            perm_[i * lanes_ + l] = i;
+}
+
+void
+BatchedLu::factor(const BatchedMatrix &a,
+                  const std::vector<std::size_t> &lane_list,
+                  std::vector<std::uint8_t> &ok)
+{
+    assert(a.size() == n_ && a.lanes() == lanes_);
+    if (lane_list.empty())
+        return;
+    statFactorLanes() += lane_list.size();
+
+    // Copy only the listed lanes: unlisted lanes keep their previous
+    // factors (frozen chord Jacobians interleave in the same buffer).
+    const double *src = a.raw();
+    for (std::size_t idx = 0; idx < n_ * n_; ++idx) {
+        const double *from = src + idx * lanes_;
+        double *to = lu_.data() + idx * lanes_;
+        for (const std::size_t lane : lane_list)
+            to[lane] = from[lane];
+    }
+    for (std::size_t i = 0; i < n_; ++i)
+        for (const std::size_t lane : lane_list)
+            perm_[i * lanes_ + lane] = i;
+
+    // Lanes still being eliminated; a near-zero pivot drops a lane
+    // out without disturbing the others.
+    std::vector<std::uint8_t> live(lanes_, 0);
+    for (const std::size_t lane : lane_list) {
+        live[lane] = 1;
+        valid_[lane] = 0;
+    }
+    std::vector<double> inv(lanes_, 0.0);
+    std::vector<double> f(lanes_, 0.0);
+
+    const auto lu_at = [&](std::size_t r, std::size_t c,
+                           std::size_t lane) -> double & {
+        return lu_[(r * n_ + c) * lanes_ + lane];
+    };
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Per-lane partial pivot: identical selection rule (strictly
+        // greater magnitude) and row-swap as the scalar LuFactors.
+        for (const std::size_t lane : lane_list) {
+            if (!live[lane])
+                continue;
+            std::size_t pivot = k;
+            double best = std::abs(lu_at(k, k, lane));
+            for (std::size_t r = k + 1; r < n_; ++r) {
+                const double v = std::abs(lu_at(r, k, lane));
+                if (v > best) {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if (best < 1e-30) {
+                ++statSingularLanes();
+                live[lane] = 0;
+                ok[lane] = 0;
+                continue;
+            }
+            if (pivot != k) {
+                for (std::size_t c = 0; c < n_; ++c)
+                    std::swap(lu_at(k, c, lane),
+                              lu_at(pivot, c, lane));
+                std::swap(perm_[k * lanes_ + lane],
+                          perm_[pivot * lanes_ + lane]);
+            }
+            inv[lane] = 1.0 / lu_at(k, k, lane);
+        }
+
+        // Lockstep elimination, lane-inner over the contiguous lane
+        // dimension (this is the SIMD hot loop).
+        for (std::size_t r = k + 1; r < n_; ++r) {
+            for (const std::size_t lane : lane_list) {
+                if (!live[lane])
+                    continue;
+                const double factor = lu_at(r, k, lane) * inv[lane];
+                // Store the multiplier in the eliminated position so
+                // solve() can replay the elimination on any RHS.
+                lu_at(r, k, lane) = factor;
+                f[lane] = factor;
+            }
+            for (std::size_t c = k + 1; c < n_; ++c) {
+                const double *row_k = &lu_[(k * n_ + c) * lanes_];
+                double *row_r = &lu_[(r * n_ + c) * lanes_];
+                for (const std::size_t lane : lane_list) {
+                    if (!live[lane] || f[lane] == 0.0)
+                        continue;
+                    row_r[lane] -= f[lane] * row_k[lane];
+                }
+            }
+        }
+    }
+
+    for (const std::size_t lane : lane_list) {
+        if (live[lane]) {
+            valid_[lane] = 1;
+            ok[lane] = 1;
+        }
+    }
+}
+
+void
+BatchedLu::solve(double *b,
+                 const std::vector<std::size_t> &lane_list) const
+{
+    if (lane_list.empty())
+        return;
+    statSolveLanes() += lane_list.size();
+
+    const auto lu_at = [&](std::size_t r, std::size_t c,
+                           std::size_t lane) {
+        return lu_[(r * n_ + c) * lanes_ + lane];
+    };
+
+    // Apply each lane's row permutation into the retained scratch.
+    for (std::size_t i = 0; i < n_; ++i)
+        for (const std::size_t lane : lane_list)
+            pb_[i * lanes_ + lane] =
+                b[perm_[i * lanes_ + lane] * lanes_ + lane];
+
+    // Forward substitution with the unit-lower factor.
+    for (std::size_t i = 1; i < n_; ++i) {
+        for (const std::size_t lane : lane_list) {
+            double s = pb_[i * lanes_ + lane];
+            for (std::size_t c = 0; c < i; ++c)
+                s -= lu_at(i, c, lane) * pb_[c * lanes_ + lane];
+            pb_[i * lanes_ + lane] = s;
+        }
+    }
+    // Back substitution with the upper factor.
+    for (std::size_t i = n_; i-- > 0;) {
+        for (const std::size_t lane : lane_list) {
+            double s = pb_[i * lanes_ + lane];
+            for (std::size_t c = i + 1; c < n_; ++c)
+                s -= lu_at(i, c, lane) * pb_[c * lanes_ + lane];
+            pb_[i * lanes_ + lane] = s / lu_at(i, i, lane);
+        }
+    }
+    for (std::size_t i = 0; i < n_; ++i)
+        for (const std::size_t lane : lane_list)
+            b[i * lanes_ + lane] = pb_[i * lanes_ + lane];
+}
+
+bool
+batchCompatible(const Circuit &a, const Circuit &b)
+{
+    if (a.numNodes() != b.numNodes())
+        return false;
+    if (a.resistors().size() != b.resistors().size() ||
+        a.capacitors().size() != b.capacitors().size() ||
+        a.voltageSources().size() != b.voltageSources().size() ||
+        a.currentSources().size() != b.currentSources().size() ||
+        a.fets().size() != b.fets().size())
+        return false;
+    for (std::size_t i = 0; i < a.resistors().size(); ++i)
+        if (a.resistors()[i].a != b.resistors()[i].a ||
+            a.resistors()[i].b != b.resistors()[i].b)
+            return false;
+    for (std::size_t i = 0; i < a.capacitors().size(); ++i)
+        if (a.capacitors()[i].a != b.capacitors()[i].a ||
+            a.capacitors()[i].b != b.capacitors()[i].b)
+            return false;
+    for (std::size_t i = 0; i < a.voltageSources().size(); ++i)
+        if (a.voltageSources()[i].pos != b.voltageSources()[i].pos ||
+            a.voltageSources()[i].neg != b.voltageSources()[i].neg)
+            return false;
+    for (std::size_t i = 0; i < a.currentSources().size(); ++i)
+        if (a.currentSources()[i].pos != b.currentSources()[i].pos ||
+            a.currentSources()[i].neg != b.currentSources()[i].neg)
+            return false;
+    for (std::size_t i = 0; i < a.fets().size(); ++i)
+        if (a.fets()[i].drain != b.fets()[i].drain ||
+            a.fets()[i].gate != b.fets()[i].gate ||
+            a.fets()[i].source != b.fets()[i].source)
+            return false;
+    return true;
+}
+
+BatchedMna::BatchedMna(std::vector<const Circuit *> lane_circuits,
+                       NewtonConfig config)
+    : circuits_(std::move(lane_circuits)), cfg_(config),
+      lanes_(circuits_.size()),
+      numNodeUnknowns_(lanes_ ? circuits_[0]->numNodes() - 1 : 0),
+      unknowns_(lanes_ ? numNodeUnknowns_ +
+                             circuits_[0]->voltageSources().size()
+                       : 0),
+      pattern_(lanes_ ? stampPattern(*circuits_[0])
+                      : std::vector<std::uint32_t>{}),
+      jac_(unknowns_, lanes_), lu_(unknowns_, lanes_),
+      luOk_(lanes_, 0)
+{
+    if (lanes_ == 0)
+        fatal("BatchedMna: no lanes");
+    const Circuit &ref = *circuits_[0];
+    for (std::size_t l = 1; l < lanes_; ++l)
+        if (!batchCompatible(ref, *circuits_[l]))
+            fatal("BatchedMna: lane ", l,
+                  " has a different topology than lane 0");
+
+    // Element values as lane-major SoA. Conductances are derived with
+    // the same division as the scalar stamp, so the bits match.
+    const std::size_t n_res = ref.resistors().size();
+    const std::size_t n_cap = ref.capacitors().size();
+    const std::size_t n_isrc = ref.currentSources().size();
+    const std::size_t n_vs = ref.voltageSources().size();
+    const std::size_t n_fet = ref.fets().size();
+    resG_.resize(n_res * lanes_);
+    capC_.resize(n_cap * lanes_);
+    srcI_.resize(n_isrc * lanes_);
+    vsWave_.resize(n_vs * lanes_);
+    fetModel_.resize(n_fet * lanes_);
+    fetUniform_.assign(n_fet, 1);
+    for (std::size_t l = 0; l < lanes_; ++l) {
+        const Circuit &c = *circuits_[l];
+        for (std::size_t i = 0; i < n_res; ++i)
+            resG_[i * lanes_ + l] = 1.0 / c.resistors()[i].resistance;
+        for (std::size_t i = 0; i < n_cap; ++i)
+            capC_[i * lanes_ + l] = c.capacitors()[i].capacitance;
+        for (std::size_t i = 0; i < n_isrc; ++i)
+            srcI_[i * lanes_ + l] = c.currentSources()[i].current;
+        for (std::size_t i = 0; i < n_vs; ++i)
+            vsWave_[i * lanes_ + l] = &c.voltageSources()[i].wave;
+        for (std::size_t i = 0; i < n_fet; ++i) {
+            fetModel_[i * lanes_ + l] = c.fets()[i].model.get();
+            if (fetModel_[i * lanes_ + l] != fetModel_[i * lanes_])
+                fetUniform_[i] = 0;
+        }
+    }
+
+    x_.assign(unknowns_ * lanes_, 0.0);
+    xPrev_.assign(unknowns_ * lanes_, 0.0);
+    residual_.assign(unknowns_ * lanes_, 0.0);
+    delta_.assign(unknowns_ * lanes_, 0.0);
+    time_.assign(lanes_, 0.0);
+    scale_.assign(lanes_, 1.0);
+    dt_.assign(lanes_, 0.0);
+    packVgs_.resize(lanes_);
+    packVds_.resize(lanes_);
+    packId_.resize(lanes_);
+    packGm_.resize(lanes_);
+    packGds_.resize(lanes_);
+    packLane_.reserve(lanes_);
+}
+
+void
+BatchedMna::setLaneX(std::size_t lane, const Solution &x)
+{
+    if (x.size() != unknowns_)
+        fatal("BatchedMna::setLaneX: bad solution vector size");
+    for (std::size_t i = 0; i < unknowns_; ++i)
+        x_[i * lanes_ + lane] = x[i];
+}
+
+void
+BatchedMna::getLaneX(std::size_t lane, Solution &x) const
+{
+    x.resize(unknowns_);
+    for (std::size_t i = 0; i < unknowns_; ++i)
+        x[i] = x_[i * lanes_ + lane];
+}
+
+void
+BatchedMna::setLaneXPrev(std::size_t lane, const Solution &x_prev)
+{
+    if (x_prev.size() != unknowns_)
+        fatal("BatchedMna::setLaneXPrev: bad state vector size");
+    for (std::size_t i = 0; i < unknowns_; ++i)
+        xPrev_[i * lanes_ + lane] = x_prev[i];
+}
+
+void
+BatchedMna::setLaneStep(std::size_t lane, double time,
+                        double source_scale, double dt)
+{
+    time_[lane] = time;
+    scale_[lane] = source_scale;
+    dt_[lane] = dt;
+}
+
+/**
+ * Batched residual/Jacobian assembly. Element-outer, lane-inner: for
+ * every lane the element visitation order — and therefore every
+ * floating-point accumulation order — is exactly Mna::assemble()'s.
+ * `res_lanes` get a fresh residual; the subset `jac_lanes`
+ * additionally gets Jacobian stamps (chord lanes skip the gm/gds
+ * finite differences entirely, as in the scalar engine).
+ */
+void
+BatchedMna::assembleBatch(const std::vector<std::size_t> &res_lanes,
+                          const std::vector<std::size_t> &jac_lanes)
+{
+    jac_.zeroEntries(pattern_, jac_lanes);
+    for (std::size_t i = 0; i < unknowns_; ++i)
+        for (const std::size_t lane : res_lanes)
+            residual_[i * lanes_ + lane] = 0.0;
+
+    std::vector<std::uint8_t> jac_mask(lanes_, 0);
+    for (const std::size_t lane : jac_lanes)
+        jac_mask[lane] = 1;
+
+    const Circuit &ref = *circuits_[0];
+    const auto index = [](NodeId node) { return node - 1; };
+
+    // Conductance stamp between two nodes, one lane.
+    const auto stamp_g = [&](int ia, int ib, double g,
+                             double i_extra_a, double v,
+                             std::size_t lane) {
+        const double i = g * v + i_extra_a;
+        const bool want_jac = jac_mask[lane] != 0;
+        if (ia >= 0) {
+            residual_[std::size_t(ia) * lanes_ + lane] += i;
+            if (want_jac) {
+                jac_.at(ia, ia, lane) += g;
+                if (ib >= 0)
+                    jac_.at(ia, ib, lane) -= g;
+            }
+        }
+        if (ib >= 0) {
+            residual_[std::size_t(ib) * lanes_ + lane] -= i;
+            if (want_jac) {
+                jac_.at(ib, ib, lane) += g;
+                if (ia >= 0)
+                    jac_.at(ib, ia, lane) -= g;
+            }
+        }
+    };
+
+    // gmin from every non-ground node to ground.
+    for (std::size_t n = 0; n < numNodeUnknowns_; ++n) {
+        for (const std::size_t lane : jac_lanes)
+            jac_.at(n, n, lane) += cfg_.gmin;
+        for (const std::size_t lane : res_lanes)
+            residual_[n * lanes_ + lane] +=
+                cfg_.gmin * x_[n * lanes_ + lane];
+    }
+
+    const auto &resistors = ref.resistors();
+    for (std::size_t e = 0; e < resistors.size(); ++e) {
+        const int ia = index(resistors[e].a);
+        const int ib = index(resistors[e].b);
+        for (const std::size_t lane : res_lanes) {
+            const double v = volt(resistors[e].a, lane) -
+                             volt(resistors[e].b, lane);
+            stamp_g(ia, ib, resG_[e * lanes_ + lane], 0.0, v, lane);
+        }
+    }
+
+    const auto &capacitors = ref.capacitors();
+    for (std::size_t e = 0; e < capacitors.size(); ++e) {
+        const int ia = index(capacitors[e].a);
+        const int ib = index(capacitors[e].b);
+        for (const std::size_t lane : res_lanes) {
+            if (dt_[lane] <= 0.0)
+                continue; // DC lane: no companion stamps.
+            // Backward-Euler companion: i = (C/dt) * (v - v_prev).
+            const double g = capC_[e * lanes_ + lane] / dt_[lane];
+            const double vp = voltPrev(capacitors[e].a, lane) -
+                              voltPrev(capacitors[e].b, lane);
+            const double v = volt(capacitors[e].a, lane) -
+                             volt(capacitors[e].b, lane);
+            stamp_g(ia, ib, g, -g * vp, v, lane);
+        }
+    }
+
+    const auto &isources = ref.currentSources();
+    for (std::size_t e = 0; e < isources.size(); ++e) {
+        const int ip = index(isources[e].pos);
+        const int in = index(isources[e].neg);
+        for (const std::size_t lane : res_lanes) {
+            const double i = srcI_[e * lanes_ + lane] * scale_[lane];
+            if (ip >= 0)
+                residual_[std::size_t(ip) * lanes_ + lane] -= i;
+            if (in >= 0)
+                residual_[std::size_t(in) * lanes_ + lane] += i;
+        }
+    }
+
+    const auto &vsources = ref.voltageSources();
+    for (std::size_t k = 0; k < vsources.size(); ++k) {
+        const std::size_t row = numNodeUnknowns_ + k;
+        const int ip = index(vsources[k].pos);
+        const int in = index(vsources[k].neg);
+        for (const std::size_t lane : res_lanes) {
+            const double i_branch = x_[row * lanes_ + lane];
+            const bool want_jac = jac_mask[lane] != 0;
+            if (ip >= 0) {
+                residual_[std::size_t(ip) * lanes_ + lane] -= i_branch;
+                if (want_jac) {
+                    jac_.at(ip, row, lane) -= 1.0;
+                    jac_.at(row, ip, lane) += 1.0;
+                }
+            }
+            if (in >= 0) {
+                residual_[std::size_t(in) * lanes_ + lane] += i_branch;
+                if (want_jac) {
+                    jac_.at(in, row, lane) += 1.0;
+                    jac_.at(row, in, lane) -= 1.0;
+                }
+            }
+            residual_[row * lanes_ + lane] =
+                volt(vsources[k].pos, lane) -
+                volt(vsources[k].neg, lane) -
+                vsWave_[k * lanes_ + lane]->at(time_[lane]) *
+                    scale_[lane];
+        }
+    }
+
+    const auto &fets = ref.fets();
+    for (std::size_t e = 0; e < fets.size(); ++e) {
+        const int idx_d = index(fets[e].drain);
+        const int idx_g = index(fets[e].gate);
+        const int idx_s = index(fets[e].source);
+
+        // Gather terminal voltages, then one fused dispatch for the
+        // jac lanes (id + gm + gds) and one for the chord remainder
+        // (id only) — replacing three virtual calls per lane.
+        packLane_.clear();
+        for (const std::size_t lane : res_lanes) {
+            packVgs_[packLane_.size()] =
+                volt(fets[e].gate, lane) - volt(fets[e].source, lane);
+            packVds_[packLane_.size()] =
+                volt(fets[e].drain, lane) - volt(fets[e].source, lane);
+            packLane_.push_back(lane);
+        }
+        const std::size_t n_pack = packLane_.size();
+        if (n_pack == 0)
+            continue;
+        // Partition in place: jac lanes first, preserving relative
+        // order within each class (per-lane values are independent).
+        std::size_t n_jac = 0;
+        for (std::size_t p = 0; p < n_pack; ++p) {
+            if (jac_mask[packLane_[p]] != 0) {
+                std::swap(packLane_[p], packLane_[n_jac]);
+                std::swap(packVgs_[p], packVgs_[n_jac]);
+                std::swap(packVds_[p], packVds_[n_jac]);
+                ++n_jac;
+            }
+        }
+        const device::TransistorModel *model0 = fetModel_[e * lanes_];
+        if (fetUniform_[e] != 0) {
+            if (n_jac > 0)
+                model0->evalBatch(packVgs_.data(), packVds_.data(),
+                                  packId_.data(), packGm_.data(),
+                                  packGds_.data(), n_jac);
+            if (n_pack > n_jac)
+                model0->evalBatch(packVgs_.data() + n_jac,
+                                  packVds_.data() + n_jac,
+                                  packId_.data() + n_jac, nullptr,
+                                  nullptr, n_pack - n_jac);
+        } else {
+            for (std::size_t p = 0; p < n_pack; ++p) {
+                const device::TransistorModel *m =
+                    fetModel_[e * lanes_ + packLane_[p]];
+                const bool want_jac = p < n_jac;
+                m->evalBatch(&packVgs_[p], &packVds_[p], &packId_[p],
+                             want_jac ? &packGm_[p] : nullptr,
+                             want_jac ? &packGds_[p] : nullptr, 1);
+            }
+        }
+
+        for (std::size_t p = 0; p < n_pack; ++p) {
+            const std::size_t lane = packLane_[p];
+            const double id = packId_[p];
+            // Current id flows into the drain terminal and out of
+            // the source terminal.
+            if (idx_d >= 0)
+                residual_[std::size_t(idx_d) * lanes_ + lane] += id;
+            if (idx_s >= 0)
+                residual_[std::size_t(idx_s) * lanes_ + lane] -= id;
+            if (p >= n_jac)
+                continue;
+            const double gm = packGm_[p];
+            const double gds = packGds_[p];
+            if (idx_d >= 0) {
+                jac_.at(idx_d, idx_d, lane) += gds;
+                if (idx_g >= 0)
+                    jac_.at(idx_d, idx_g, lane) += gm;
+                if (idx_s >= 0)
+                    jac_.at(idx_d, idx_s, lane) -= gm + gds;
+            }
+            if (idx_s >= 0) {
+                jac_.at(idx_s, idx_s, lane) += gm + gds;
+                if (idx_g >= 0)
+                    jac_.at(idx_s, idx_g, lane) -= gm;
+                if (idx_d >= 0)
+                    jac_.at(idx_s, idx_d, lane) -= gds;
+            }
+        }
+    }
+}
+
+void
+BatchedMna::newtonRound(std::vector<BatchNewtonLane> &state)
+{
+    static stats::Counter &stat_rounds = stats::counter(
+        "circuit.batch.newton.rounds",
+        "lockstep Newton rounds executed by the batched engine");
+    static stats::Counter &stat_iters = stats::counter(
+        "circuit.batch.newton.iterations",
+        "lane Newton iterations executed by the batched engine");
+    static stats::Counter &stat_singular_recoveries = stats::counter(
+        "circuit.batch.newton.singular_recoveries",
+        "batched lanes recovered via a diagonal gmin boost");
+    static stats::Counter &stat_failures = stats::counter(
+        "circuit.batch.newton.failures",
+        "batched lane solves that diverged");
+    static stats::Accumulator &stat_occupancy = stats::accumulator(
+        "circuit.batch.mask_occupancy",
+        "active-lane fraction per batched Newton round");
+
+    if (state.size() != lanes_)
+        fatal("BatchedMna::newtonRound: bad state vector size");
+
+    std::vector<std::size_t> res_lanes;
+    std::vector<std::size_t> jac_lanes;
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+        if (!state[lane].active)
+            continue;
+        res_lanes.push_back(lane);
+        if (state[lane].refresh || !cfg_.chord)
+            jac_lanes.push_back(lane);
+    }
+    if (res_lanes.empty())
+        return;
+
+    ++stat_rounds;
+    stat_iters += res_lanes.size();
+    stat_occupancy.sample(static_cast<double>(res_lanes.size()) /
+                          static_cast<double>(lanes_));
+    prof::FrameGuard prof_frame("batch.newton_round");
+
+    assembleBatch(res_lanes, jac_lanes);
+
+    {
+        prof::FrameGuard lu_frame("batch.lu_factor");
+        lu_.factor(jac_, jac_lanes, luOk_);
+    }
+
+    // Per-lane singular recovery: mirror the scalar refactor() — add
+    // the boost to the (intact) assembled Jacobian diagonals of the
+    // failed lane and factor that lane again.
+    std::vector<std::size_t> retry_lanes;
+    for (const std::size_t lane : jac_lanes) {
+        if (luOk_[lane] != 0)
+            continue;
+        if (cfg_.singularGminBoost > 0.0) {
+            ++stat_singular_recoveries;
+            for (std::size_t n = 0; n < numNodeUnknowns_; ++n)
+                jac_.at(n, n, lane) += cfg_.singularGminBoost;
+            retry_lanes.assign(1, lane);
+            lu_.factor(jac_, retry_lanes, luOk_);
+        }
+        if (luOk_[lane] == 0) {
+            ++stat_failures;
+            state[lane].failed = true;
+            state[lane].active = false;
+        }
+    }
+    for (const std::size_t lane : jac_lanes)
+        if (state[lane].active)
+            state[lane].refresh = false;
+
+    // Solve J * delta = residual on the surviving lanes.
+    std::vector<std::size_t> solve_lanes;
+    for (const std::size_t lane : res_lanes)
+        if (state[lane].active)
+            solve_lanes.push_back(lane);
+    if (solve_lanes.empty())
+        return;
+    std::copy(residual_.begin(), residual_.end(), delta_.begin());
+    lu_.solve(delta_.data(), solve_lanes);
+
+    // Per-lane clamped update + convergence/chord bookkeeping, the
+    // exact scalar iteration tail.
+    for (const std::size_t lane : solve_lanes) {
+        BatchNewtonLane &st = state[lane];
+        double max_update = 0.0;
+        for (std::size_t i = 0; i < unknowns_; ++i) {
+            double step = delta_[i * lanes_ + lane];
+            // Clamp only voltage unknowns; branch currents may jump.
+            if (i < numNodeUnknowns_)
+                step = std::clamp(step, -cfg_.maxStep, cfg_.maxStep);
+            x_[i * lanes_ + lane] -= step;
+            if (i < numNodeUnknowns_)
+                max_update = std::max(max_update, std::abs(step));
+        }
+
+        if (max_update < cfg_.tolerance) {
+            st.converged = true;
+            st.active = false;
+            continue;
+        }
+
+        // Refresh the Jacobian when the frozen one converges slowly.
+        if (cfg_.chord && st.iter > 0 &&
+            max_update > cfg_.chordRefreshRatio * st.prevUpdate)
+            st.refresh = true;
+        st.prevUpdate = max_update;
+
+        ++st.iter;
+        if (st.iter >= cfg_.maxIterations) {
+            ++stat_failures;
+            st.failed = true;
+            st.active = false;
+        }
+    }
+}
+
+void
+BatchedMna::solveNewtonAll(std::vector<BatchNewtonLane> &state)
+{
+    for (;;) {
+        bool any_active = false;
+        for (const BatchNewtonLane &st : state)
+            any_active = any_active || st.active;
+        if (!any_active)
+            return;
+        newtonRound(state);
+    }
+}
+
+} // namespace otft::circuit

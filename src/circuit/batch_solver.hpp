@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Lane-parallel batched Newton solver.
+ *
+ * The characterization pipeline bottoms out in millions of small,
+ * identically-structured Newton solves — one per slew x load grid
+ * point and per Monte Carlo sample. This engine runs B lanes of the
+ * *same circuit topology* (element values, waveforms, and device
+ * models may differ per lane) in lockstep over structure-of-arrays
+ * state: a lane-major BatchedMatrix, a batched LU with per-lane
+ * pivoting, and a batched Newton round that assembles, factors, and
+ * updates every active lane per pass.
+ *
+ * Determinism contract (the masked-lane lockstep contract, see
+ * DESIGN.md): every lane executes the identical per-lane operation
+ * order as the scalar Mna/LuFactors path — same element stamp order,
+ * same pivot selection, same update clamps — and lanes never
+ * reassociate arithmetic across each other. Lane results are
+ * therefore bit-identical to a scalar solve of the same problem,
+ * which is what lets batched characterization reuse the scalar
+ * result-cache keys and pass the byte-identity determinism gates.
+ */
+
+#ifndef OTFT_CIRCUIT_BATCH_SOLVER_HPP
+#define OTFT_CIRCUIT_BATCH_SOLVER_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/mna.hpp"
+
+namespace otft::circuit {
+
+/**
+ * Dense square matrix for B lanes, lane-major: entry (r, c) of lane
+ * `l` lives at data[(r * n + c) * B + l], so the same structural
+ * entry of all lanes is contiguous (one SIMD vector when B matches
+ * the hardware width).
+ */
+class BatchedMatrix
+{
+  public:
+    BatchedMatrix(std::size_t n, std::size_t lanes)
+        : n_(n), lanes_(lanes), data_(n * n * lanes, 0.0)
+    {}
+
+    double &
+    at(std::size_t r, std::size_t c, std::size_t lane)
+    {
+        assert(r < n_ && c < n_ && lane < lanes_);
+        return data_[(r * n_ + c) * lanes_ + lane];
+    }
+    double
+    at(std::size_t r, std::size_t c, std::size_t lane) const
+    {
+        assert(r < n_ && c < n_ && lane < lanes_);
+        return data_[(r * n_ + c) * lanes_ + lane];
+    }
+
+    std::size_t size() const { return n_; }
+    std::size_t lanes() const { return lanes_; }
+
+    double *raw() { return data_.data(); }
+    const double *raw() const { return data_.data(); }
+
+    /**
+     * Zero the given flattened structural entries (index = r * n + c,
+     * as produced by stampPattern) of the listed lanes only — other
+     * lanes keep their values (they may hold a frozen chord Jacobian).
+     */
+    void
+    zeroEntries(const std::vector<std::uint32_t> &entries,
+                const std::vector<std::size_t> &lane_list)
+    {
+        for (const std::uint32_t idx : entries) {
+            double *slot = &data_[std::size_t(idx) * lanes_];
+            for (const std::size_t lane : lane_list)
+                slot[lane] = 0.0;
+        }
+    }
+
+  private:
+    std::size_t n_;
+    std::size_t lanes_;
+    std::vector<double> data_;
+};
+
+/**
+ * Batched LU factorization with per-lane partial pivoting.
+ *
+ * factor() copies the listed lanes of the batched matrix into
+ * retained storage and eliminates them in lockstep; lanes not listed
+ * keep their previous factors (a chord lane keeps solving against
+ * its frozen Jacobian while refresh lanes re-factor). Per lane, the
+ * pivot choice, the multiplier values, and the elimination order are
+ * exactly those of the scalar LuFactors, so solve() results are
+ * bit-identical to the scalar path.
+ */
+class BatchedLu
+{
+  public:
+    BatchedLu(std::size_t n, std::size_t lanes);
+
+    /**
+     * Factor the listed lanes of `a`. ok[lane] is set false for
+     * lanes that hit a near-zero pivot (their factors are invalid,
+     * other lanes are unaffected) and true otherwise; lanes not
+     * listed keep their ok/valid state untouched.
+     */
+    void factor(const BatchedMatrix &a,
+                const std::vector<std::size_t> &lane_list,
+                std::vector<std::uint8_t> &ok);
+
+    /**
+     * Solve the stored factors of the listed lanes against the
+     * lane-major right-hand side `b` (n * lanes doubles), in place.
+     * Listed lanes must have factored successfully.
+     */
+    void solve(double *b,
+               const std::vector<std::size_t> &lane_list) const;
+
+    /** True after the lane's last factor() succeeded. */
+    bool valid(std::size_t lane) const { return valid_[lane] != 0; }
+
+    std::size_t size() const { return n_; }
+    std::size_t lanes() const { return lanes_; }
+
+  private:
+    std::size_t n_;
+    std::size_t lanes_;
+    /** Lane-major factors, as BatchedMatrix layout. */
+    std::vector<double> lu_;
+    /** perm_[i * lanes + lane]: row permutation per lane. */
+    std::vector<std::size_t> perm_;
+    std::vector<std::uint8_t> valid_;
+    /** solve() scratch for the permuted RHS (lane-major). */
+    mutable std::vector<double> pb_;
+};
+
+/** Per-lane Newton progress for BatchedMna::newtonRound(). */
+struct BatchNewtonLane
+{
+    /** Lane participates in the next round. */
+    bool active = false;
+    /** Terminal states (mutually exclusive; clear `active`). */
+    bool converged = false;
+    bool failed = false;
+    /** Index of the iteration the next round executes (0-based). */
+    int iter = 0;
+    /** Previous round's max voltage update (chord refresh test). */
+    double prevUpdate = 0.0;
+    /** Next round must rebuild + refactor this lane's Jacobian. */
+    bool refresh = true;
+};
+
+/**
+ * Batched MNA problem: B same-topology circuits solved in lockstep.
+ *
+ * Lanes are loaded with per-lane iterates (setLaneX), previous
+ * states (setLaneXPrev), and step parameters (setLaneStep); each
+ * newtonRound() then executes exactly one scalar Newton iteration
+ * per active lane — masked assembly, masked factor with the per-lane
+ * gmin-boost singular recovery, batched triangular solve, per-lane
+ * clamped update and convergence/chord-refresh bookkeeping. Device
+ * models are evaluated through the fused TransistorModel::evalBatch.
+ *
+ * Per-lane solver observability (diag::SolveProbe, failure dumps per
+ * solve) is not wired through the batched engine; callers needing
+ * forensics use the scalar path (see DESIGN.md).
+ */
+class BatchedMna
+{
+  public:
+    /**
+     * @param lane_circuits one circuit per lane; all must share the
+     *        same topology (node indices and element order — checked,
+     *        fatal on mismatch); values/waveforms/models may differ.
+     * @param config shared Newton controls for every lane.
+     */
+    BatchedMna(std::vector<const Circuit *> lane_circuits,
+               NewtonConfig config = {});
+
+    std::size_t lanes() const { return lanes_; }
+    std::size_t numUnknowns() const { return unknowns_; }
+    std::size_t numNodeUnknowns() const { return numNodeUnknowns_; }
+    const NewtonConfig &config() const { return cfg_; }
+    const Circuit &laneCircuit(std::size_t lane) const
+    {
+        return *circuits_[lane];
+    }
+
+    /** Load/read a lane's Newton iterate (scalar Solution layout). */
+    void setLaneX(std::size_t lane, const Solution &x);
+    void getLaneX(std::size_t lane, Solution &x) const;
+
+    /** Load a lane's previous-timestep state (companion models). */
+    void setLaneXPrev(std::size_t lane, const Solution &x_prev);
+
+    /**
+     * Set a lane's step parameters: waveform time, source scale, and
+     * backward-Euler dt (<= 0 disables capacitor stamps, DC).
+     */
+    void setLaneStep(std::size_t lane, double time,
+                     double source_scale, double dt);
+
+    /**
+     * Execute one Newton iteration on every active lane. Lanes that
+     * converge or fail this round get their terminal flag set and
+     * `active` cleared; the caller decides what happens next (retire
+     * the lane, shrink its timestep and relaunch, ...).
+     */
+    void newtonRound(std::vector<BatchNewtonLane> &state);
+
+    /**
+     * Convenience driver: run newtonRound() until no lane is active.
+     * Equivalent to per-lane Mna::solveNewton on the loaded state.
+     */
+    void solveNewtonAll(std::vector<BatchNewtonLane> &state);
+
+  private:
+    void assembleBatch(const std::vector<std::size_t> &res_lanes,
+                       const std::vector<std::size_t> &jac_lanes);
+
+    double
+    volt(NodeId node, std::size_t lane) const
+    {
+        return node == Circuit::ground
+                   ? 0.0
+                   : x_[std::size_t(node - 1) * lanes_ + lane];
+    }
+    double
+    voltPrev(NodeId node, std::size_t lane) const
+    {
+        return node == Circuit::ground
+                   ? 0.0
+                   : xPrev_[std::size_t(node - 1) * lanes_ + lane];
+    }
+
+    std::vector<const Circuit *> circuits_;
+    NewtonConfig cfg_;
+    std::size_t lanes_;
+    std::size_t numNodeUnknowns_;
+    std::size_t unknowns_;
+    std::vector<std::uint32_t> pattern_;
+
+    /** Precomputed lane-major element values ([elem * lanes + lane]). */
+    std::vector<double> resG_;
+    std::vector<double> capC_;
+    std::vector<double> srcI_;
+    std::vector<const Pwl *> vsWave_;
+    std::vector<const device::TransistorModel *> fetModel_;
+    /** Per FET: all lanes share one model object (fused dispatch). */
+    std::vector<std::uint8_t> fetUniform_;
+
+    /** Lane-major state (unknowns * lanes). */
+    std::vector<double> x_;
+    std::vector<double> xPrev_;
+    std::vector<double> residual_;
+    std::vector<double> delta_;
+    BatchedMatrix jac_;
+    BatchedLu lu_;
+    std::vector<std::uint8_t> luOk_;
+
+    /** Per-lane step parameters. */
+    std::vector<double> time_;
+    std::vector<double> scale_;
+    std::vector<double> dt_;
+
+    /** evalBatch packing scratch. */
+    std::vector<double> packVgs_, packVds_, packId_, packGm_, packGds_;
+    std::vector<std::size_t> packLane_;
+};
+
+/**
+ * @return true when the two circuits have identical topology — node
+ * count plus element counts and node indices in order (element
+ * values, waveforms, and models are not compared) — i.e. they can
+ * share lanes of one BatchedMna.
+ */
+bool batchCompatible(const Circuit &a, const Circuit &b);
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_BATCH_SOLVER_HPP

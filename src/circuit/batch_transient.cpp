@@ -1,0 +1,313 @@
+#include "circuit/batch_transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "circuit/batch_solver.hpp"
+#include "circuit/dump.hpp"
+#include "util/diag.hpp"
+#include "util/logging.hpp"
+#include "util/profiler.hpp"
+#include "util/stats_registry.hpp"
+
+namespace otft::circuit {
+
+namespace {
+
+bool
+sameNewtonConfig(const NewtonConfig &a, const NewtonConfig &b)
+{
+    return a.gmin == b.gmin && a.maxIterations == b.maxIterations &&
+           a.tolerance == b.tolerance && a.maxStep == b.maxStep &&
+           a.chord == b.chord &&
+           a.chordRefreshRatio == b.chordRefreshRatio &&
+           a.singularGminBoost == b.singularGminBoost;
+}
+
+/**
+ * Per-lane replica of the scalar runAdaptive() local state. The
+ * stepping decisions (breakpoint landing, LTE accept/reject, retry
+ * shrink, growth clamp) are verbatim TransientAnalysis::runAdaptive —
+ * only the Newton solve itself is delegated to the shared BatchedMna.
+ */
+struct LaneRun
+{
+    const BatchTransientSpec *spec = nullptr;
+    double dtMin = 0.0;
+    double dtMax = 0.0;
+    std::vector<double> stops;
+    std::size_t nextStop = 0;
+    std::size_t attempts = 0;
+    std::size_t maxAttempts = 0;
+    double t = 0.0;
+    double h = 0.0;
+    double hPrev = 0.0;
+    bool haveHistory = false;
+    bool landing = false;
+    double tNew = 0.0;
+    /** Last accepted solution / its predecessor / the trial solve. */
+    Solution x;
+    Solution xBefore;
+    Solution xNew;
+    std::vector<double> times;
+    std::vector<std::vector<double>> nodeV;
+    std::vector<std::vector<double>> sourceI;
+    bool done = false;
+};
+
+} // namespace
+
+std::vector<TransientResult>
+runTransientBatch(std::vector<BatchTransientSpec> specs)
+{
+    static stats::Counter &stat_runs = stats::counter(
+        "circuit.batch.runs", "batched transient runs executed");
+    static stats::Counter &stat_lanes = stats::counter(
+        "circuit.batch.lanes", "lanes submitted to batched runs");
+    static stats::Counter &stat_retired = stats::counter(
+        "circuit.batch.lanes_retired",
+        "lanes that ran to completion in the batched engine");
+    static stats::Counter &stat_steps = stats::counter(
+        "circuit.batch.steps",
+        "transient time steps attempted across batched lanes");
+    static stats::Counter &stat_retries = stats::counter(
+        "circuit.batch.retries",
+        "batched time steps retried after a Newton failure");
+    static stats::Counter &stat_rejections = stats::counter(
+        "circuit.batch.lte_rejections",
+        "batched steps rejected for excess local truncation error");
+
+    for (const BatchTransientSpec &s : specs) {
+        if (s.circuit == nullptr)
+            fatal("runTransientBatch: null circuit in spec");
+        if (s.config.tStop <= 0.0 || s.config.dt <= 0.0)
+            fatal("TransientAnalysis: tStop and dt must be positive");
+    }
+
+    // Batching needs >= 2 adaptive lanes over one topology with one
+    // Newton config; anything else degrades to per-spec scalar runs
+    // (same results either way — the batch is purely an optimization).
+    bool batchable = specs.size() >= 2;
+    for (const BatchTransientSpec &s : specs) {
+        if (s.config.fixedStep)
+            batchable = false;
+        if (!sameNewtonConfig(s.config.newton,
+                              specs[0].config.newton))
+            batchable = false;
+        if (!batchCompatible(*s.circuit, *specs[0].circuit))
+            batchable = false;
+    }
+    if (!batchable) {
+        std::vector<TransientResult> results;
+        results.reserve(specs.size());
+        for (const BatchTransientSpec &s : specs)
+            results.push_back(TransientAnalysis(*s.circuit)
+                                  .run(s.config, s.initial));
+        return results;
+    }
+
+    ++stat_runs;
+    stat_lanes += specs.size();
+    prof::FrameGuard prof_frame("batch.transient");
+
+    const std::size_t lanes = specs.size();
+    std::vector<const Circuit *> lane_circuits;
+    lane_circuits.reserve(lanes);
+    for (const BatchTransientSpec &s : specs)
+        lane_circuits.push_back(s.circuit);
+    BatchedMna mna(std::move(lane_circuits), specs[0].config.newton);
+
+    const std::size_t n_unknowns = mna.numUnknowns();
+    const std::size_t n_node_unknowns = mna.numNodeUnknowns();
+
+    std::vector<LaneRun> runs(lanes);
+    std::vector<BatchNewtonLane> newton(lanes);
+
+    const auto record = [&](LaneRun &run, double t,
+                            const Solution &sol) {
+        run.times.push_back(t);
+        run.nodeV[0].push_back(0.0); // ground
+        for (std::size_t n = 1; n < run.nodeV.size(); ++n)
+            run.nodeV[n].push_back(sol[n - 1]);
+        for (std::size_t s = 0; s < run.sourceI.size(); ++s)
+            run.sourceI[s].push_back(sol[n_node_unknowns + s]);
+    };
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        LaneRun &run = runs[lane];
+        run.spec = &specs[lane];
+        const TransientConfig &cfg = run.spec->config;
+        run.dtMin = cfg.dtMin > 0.0 ? cfg.dtMin : cfg.dt / 256.0;
+        run.dtMax = std::max(
+            run.dtMin, cfg.dtMax > 0.0 ? cfg.dtMax : cfg.dt * 64.0);
+        if (cfg.lteTol <= 0.0)
+            fatal("TransientAnalysis: lteTol must be positive");
+
+        if (run.spec->initial.size() != n_unknowns)
+            fatal("TransientAnalysis: initial state has ",
+                  run.spec->initial.size(), " unknowns, circuit needs ",
+                  n_unknowns);
+
+        // Mandatory stop times: waveform breakpoints, then tStop.
+        std::set<double> stop_set;
+        for (const auto &s : run.spec->circuit->voltageSources())
+            for (double t : s.wave.breakpoints())
+                if (t > 0.0 && t < cfg.tStop)
+                    stop_set.insert(t);
+        stop_set.insert(cfg.tStop);
+        run.stops.assign(stop_set.begin(), stop_set.end());
+
+        // Runaway guard, as in the scalar engine.
+        run.maxAttempts =
+            4 * static_cast<std::size_t>(cfg.tStop / run.dtMin + 1.0) +
+            4 * run.stops.size() + 1024;
+
+        run.h = std::clamp(cfg.dt, run.dtMin, run.dtMax);
+        run.x = run.spec->initial;
+        run.nodeV.resize(run.spec->circuit->numNodes());
+        run.sourceI.resize(
+            run.spec->circuit->voltageSources().size());
+        record(run, 0.0, run.x);
+    }
+
+    // Load one step attempt for a lane into the shared solver.
+    const auto start_attempt = [&](std::size_t lane) {
+        LaneRun &run = runs[lane];
+        const TransientConfig &cfg = run.spec->config;
+        if (++run.attempts > run.maxAttempts) {
+            // LTE budget exhausted: a reject/shrink loop that never
+            // advances. Leave a forensics artifact before bailing.
+            dump::writeFailureDump(
+                *run.spec->circuit, cfg.newton, run.x,
+                diag::SolveKind::TransientStep, run.t, 1.0, run.h,
+                run.haveHistory ? &run.xBefore : nullptr,
+                "transient_lte_budget", {});
+            fatal("TransientAnalysis: adaptive stepping stalled at "
+                  "t = ",
+                  run.t, " s");
+        }
+
+        // Land exactly on the next mandatory stop time.
+        const double bp = run.stops[run.nextStop];
+        run.landing = false;
+        if (run.t + run.h >= bp ||
+            bp - (run.t + run.h) < 0.25 * run.dtMin) {
+            run.h = bp - run.t;
+            run.landing = true;
+        }
+
+        ++stat_steps;
+        run.tNew = run.landing ? bp : run.t + run.h;
+        mna.setLaneX(lane, run.x);
+        mna.setLaneXPrev(lane, run.x);
+        mna.setLaneStep(lane, run.tNew, 1.0, run.h);
+        newton[lane] = BatchNewtonLane{};
+        newton[lane].active = true;
+    };
+
+    // A lane's Newton solve finished (converged or failed): run the
+    // scalar accept/reject/retry logic and either relaunch the lane
+    // or retire it.
+    const auto newton_done = [&](std::size_t lane) {
+        LaneRun &run = runs[lane];
+        const TransientConfig &cfg = run.spec->config;
+
+        if (newton[lane].failed) {
+            ++stat_retries;
+            diag::recordEvent(diag::Event::NewtonRetry);
+            if (run.h <= run.dtMin * 1.0000001)
+                fatal("TransientAnalysis: Newton failed at t = ",
+                      run.tNew, " s with the minimum step");
+            run.h = std::max(run.dtMin, 0.5 * run.h);
+            start_attempt(lane);
+            return;
+        }
+
+        mna.getLaneX(lane, run.xNew);
+
+        // LTE estimate once two prior points exist in this segment.
+        double growth = 2.0;
+        if (run.haveHistory) {
+            double err = 0.0;
+            for (std::size_t i = 0; i < n_node_unknowns; ++i) {
+                const double d1 = (run.xNew[i] - run.x[i]) / run.h;
+                const double d0 =
+                    (run.x[i] - run.xBefore[i]) / run.hPrev;
+                const double lte = run.h * run.h * std::abs(d1 - d0) /
+                                   (run.h + run.hPrev);
+                err = std::max(err, lte);
+            }
+            if (err > cfg.lteTol && run.h > run.dtMin * 1.0000001) {
+                ++stat_rejections;
+                diag::recordEvent(diag::Event::StepReject);
+                const double shrink = std::max(
+                    0.3, 0.9 * std::sqrt(cfg.lteTol / err));
+                run.h = std::max(run.dtMin, run.h * shrink);
+                start_attempt(lane);
+                return;
+            }
+            if (err > 0.0)
+                growth = std::min(
+                    2.0, 0.9 * std::sqrt(cfg.lteTol / err));
+        }
+
+        // Accept.
+        diag::recordEvent(diag::Event::StepAccept);
+        run.xBefore = std::move(run.x);
+        run.x = std::move(run.xNew);
+        run.hPrev = run.h;
+        run.haveHistory = true;
+        run.t = run.tNew;
+        record(run, run.t, run.x);
+
+        if (run.landing) {
+            ++run.nextStop;
+            // Input slope is discontinuous across a breakpoint:
+            // restart both the difference history and the step size.
+            run.haveHistory = false;
+            run.h = std::clamp(cfg.dt, run.dtMin, run.dtMax);
+        } else {
+            run.h = std::clamp(run.h * std::max(growth, 0.1),
+                               run.dtMin, run.dtMax);
+        }
+
+        if (run.t < cfg.tStop && run.nextStop < run.stops.size()) {
+            start_attempt(lane);
+        } else {
+            run.done = true;
+            ++stat_retired;
+        }
+    };
+
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+        start_attempt(lane);
+
+    for (;;) {
+        bool any_pending = false;
+        for (std::size_t lane = 0; lane < lanes; ++lane)
+            any_pending = any_pending || !runs[lane].done;
+        if (!any_pending)
+            break;
+        mna.newtonRound(newton);
+        // Dispatch lanes whose solve just reached a terminal state;
+        // start_attempt may immediately re-arm them for the next
+        // round, so other lanes keep their in-flight iterates.
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            if (runs[lane].done || newton[lane].active)
+                continue;
+            newton_done(lane);
+        }
+    }
+
+    std::vector<TransientResult> results;
+    results.reserve(lanes);
+    for (LaneRun &run : runs)
+        results.emplace_back(std::move(run.times),
+                             std::move(run.nodeV),
+                             std::move(run.sourceI));
+    return results;
+}
+
+} // namespace otft::circuit

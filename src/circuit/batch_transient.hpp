@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lane-parallel adaptive transient analysis.
+ *
+ * Runs B same-topology transient problems through one BatchedMna,
+ * sharing assembly, factorization, and device evaluation across lanes
+ * while every lane executes the exact scalar adaptive-stepping state
+ * machine (TransientAnalysis::runAdaptive): same LTE controller, same
+ * breakpoint landings, same retry/shrink policy, same failure
+ * messages. Lanes advance independently — one lane can be rejecting a
+ * step while another is three steps ahead — and a lane that finishes
+ * simply drops out of the remaining Newton rounds (its mask goes
+ * inactive). Per-lane traces are bit-identical to a scalar run of the
+ * same spec, which is what lets batched characterization share the
+ * scalar result-cache entries (see DESIGN.md, "masked-lane lockstep").
+ */
+
+#ifndef OTFT_CIRCUIT_BATCH_TRANSIENT_HPP
+#define OTFT_CIRCUIT_BATCH_TRANSIENT_HPP
+
+#include <vector>
+
+#include "circuit/transient.hpp"
+
+namespace otft::circuit {
+
+/** One lane of a batched transient run. */
+struct BatchTransientSpec
+{
+    /** The lane's circuit; all lanes must share one topology. */
+    Circuit *circuit = nullptr;
+    /** Per-lane run controls (tStop/dt/LTE bounds may differ). */
+    TransientConfig config;
+    /**
+     * Converged t = 0 operating point (e.g. a memoized DC solution);
+     * the batched engine never runs the DC solve itself.
+     */
+    Solution initial;
+};
+
+/**
+ * Run every spec to completion and return one TransientResult per
+ * spec, in order. Results are bit-identical to running each spec
+ * through TransientAnalysis::run(config, initial) on its own.
+ *
+ * Falls back to the scalar engine per spec (still returning identical
+ * results) when batching cannot apply: fewer than two specs, any
+ * fixed-step lane, mismatched Newton configs, or mismatched
+ * topologies. Throws FatalError under the same conditions as the
+ * scalar engine (non-convergence at the minimum step, LTE budget
+ * exhaustion, bad spec).
+ */
+std::vector<TransientResult>
+runTransientBatch(std::vector<BatchTransientSpec> specs);
+
+} // namespace otft::circuit
+
+#endif // OTFT_CIRCUIT_BATCH_TRANSIENT_HPP

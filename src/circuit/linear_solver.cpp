@@ -31,51 +31,16 @@ statSingular()
 bool
 solveLinear(Matrix &a, std::vector<double> &b)
 {
-    const std::size_t n = a.size();
-    if (b.size() != n)
+    if (b.size() != a.size())
         return false;
-    ++statFactor();
-
-    for (std::size_t k = 0; k < n; ++k) {
-        // Partial pivot: largest magnitude in column k at/below row k.
-        std::size_t pivot = k;
-        double best = std::abs(a.at(k, k));
-        for (std::size_t r = k + 1; r < n; ++r) {
-            const double v = std::abs(a.at(r, k));
-            if (v > best) {
-                best = v;
-                pivot = r;
-            }
-        }
-        if (best < 1e-30) {
-            ++statSingular();
-            return false;
-        }
-        if (pivot != k) {
-            for (std::size_t c = 0; c < n; ++c)
-                std::swap(a.at(k, c), a.at(pivot, c));
-            std::swap(b[k], b[pivot]);
-        }
-
-        const double inv = 1.0 / a.at(k, k);
-        for (std::size_t r = k + 1; r < n; ++r) {
-            const double factor = a.at(r, k) * inv;
-            if (factor == 0.0)
-                continue;
-            a.at(r, k) = 0.0;
-            for (std::size_t c = k + 1; c < n; ++c)
-                a.at(r, c) -= factor * a.at(k, c);
-            b[r] -= factor * b[k];
-        }
-    }
-
-    // Back substitution.
-    for (std::size_t i = n; i-- > 0;) {
-        double s = b[i];
-        for (std::size_t c = i + 1; c < n; ++c)
-            s -= a.at(i, c) * b[c];
-        b[i] = s / a.at(i, i);
-    }
+    // One-shot solves reuse a retained factorization object per
+    // thread, so the hot factor/solve path allocates only on first
+    // use (and on a size change). `a` is destroyed either way — here
+    // by the buffer exchange instead of the elimination.
+    thread_local LuFactors lu;
+    if (!lu.factorInPlace(a))
+        return false;
+    lu.solve(b);
     return true;
 }
 
@@ -86,9 +51,24 @@ LuFactors::factor(const Matrix &a)
     valid_ = false;
     if (lu.size() != n)
         lu = Matrix(n);
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            lu.at(r, c) = a.at(r, c);
+    // Single contiguous copy into the retained storage (the former
+    // element-wise at() loop re-derived every row offset).
+    std::copy(a.raw(), a.raw() + n * n, lu.raw());
+    return factorStored();
+}
+
+bool
+LuFactors::factorInPlace(Matrix &a)
+{
+    valid_ = false;
+    lu.swap(a);
+    return factorStored();
+}
+
+bool
+LuFactors::factorStored()
+{
+    const std::size_t n = lu.size();
     perm.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         perm[i] = i;
@@ -143,8 +123,10 @@ LuFactors::solve(std::vector<double> &b) const
         "circuit.lu.solves", "triangular solves against stored factors");
     ++stat_solves;
 
-    // Apply the row permutation.
-    std::vector<double> pb(n);
+    // Apply the row permutation (into retained scratch — the hot
+    // chord-iteration path makes one of these per Newton iteration).
+    std::vector<double> &pb = scratch;
+    pb.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         pb[i] = b[perm[i]];
 
@@ -162,7 +144,7 @@ LuFactors::solve(std::vector<double> &b) const
             s -= lu.at(i, c) * pb[c];
         pb[i] = s / lu.at(i, i);
     }
-    b = std::move(pb);
+    b.swap(pb);
 }
 
 } // namespace otft::circuit

@@ -17,7 +17,9 @@
 #define OTFT_CIRCUIT_LINEAR_SOLVER_HPP
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace otft::circuit {
@@ -28,17 +30,77 @@ class Matrix
   public:
     explicit Matrix(std::size_t n = 0) : n(n), data(n * n, 0.0) {}
 
-    double &at(std::size_t r, std::size_t c) { return data[r * n + c]; }
-    double at(std::size_t r, std::size_t c) const { return data[r * n + c]; }
+    double &
+    at(std::size_t r, std::size_t c)
+    {
+        assert(r < n && c < n && "Matrix::at out of range");
+        return data[r * n + c];
+    }
+    double
+    at(std::size_t r, std::size_t c) const
+    {
+        assert(r < n && c < n && "Matrix::at out of range");
+        return data[r * n + c];
+    }
 
     std::size_t size() const { return n; }
 
+    /** Raw row-major storage, size() * size() doubles. */
+    double *raw() { return data.data(); }
+    const double *raw() const { return data.data(); }
+
     /** Reset all entries to zero without reallocating. */
-    void clear() { std::fill(data.begin(), data.end(), 0.0); }
+    void
+    clear()
+    {
+        std::fill(data.begin(), data.end(), 0.0);
+        denseDirty_ = false;
+    }
+
+    /**
+     * Zero only the given flattened entries (index = r * size() + c).
+     * With the stamp pattern of an MNA assembly this replaces the
+     * O(n^2) clear() by an O(nnz) sweep — valid only while the matrix
+     * is not dense-dirty, i.e. every entry outside the pattern is
+     * still zero from the last clear()/construction. Callers that
+     * restrict their writes to the pattern keep that invariant.
+     */
+    void
+    zeroEntries(const std::vector<std::uint32_t> &entries)
+    {
+        assert(!denseDirty_ &&
+               "Matrix::zeroEntries on a dense-dirty matrix");
+        for (const std::uint32_t idx : entries) {
+            assert(idx < data.size());
+            data[idx] = 0.0;
+        }
+    }
+
+    /**
+     * True when entries outside any stamp pattern may be nonzero
+     * (e.g. after swap()); zeroEntries() is then unsound and callers
+     * must fall back to clear().
+     */
+    bool denseDirty() const { return denseDirty_; }
+
+    /**
+     * Exchange storage with another matrix without copying. Both
+     * matrices become dense-dirty: their contents are whatever the
+     * other side held.
+     */
+    void
+    swap(Matrix &other)
+    {
+        std::swap(n, other.n);
+        data.swap(other.data);
+        denseDirty_ = true;
+        other.denseDirty_ = true;
+    }
 
   private:
     std::size_t n;
     std::vector<double> data;
+    bool denseDirty_ = false;
 };
 
 /**
@@ -52,11 +114,18 @@ bool solveLinear(Matrix &a, std::vector<double> &b);
 /**
  * A reusable LU factorization (partial pivoting).
  *
- * factor() copies the matrix and factorizes the copy; solve() then
+ * factor() copies the matrix (one contiguous memcpy into retained
+ * storage) and factorizes the copy; factorInPlace() skips even that
+ * copy by exchanging buffers with the caller's matrix. solve() then
  * applies the stored permutation plus forward/back substitution to
- * any number of right-hand sides without re-factoring. Storage is
- * retained across factor() calls of the same size, so a Newton loop
- * re-factoring in place allocates only once.
+ * any number of right-hand sides without re-factoring. Storage —
+ * including the permutation and the solve scratch vector — is
+ * retained across calls of the same size, so a Newton loop
+ * re-factoring repeatedly allocates only once.
+ *
+ * Not thread-safe: solve() reuses a member scratch buffer, so a
+ * shared LuFactors must not be solved from two threads concurrently
+ * (each solver instance owns its own, as the engines do).
  */
 class LuFactors
 {
@@ -66,6 +135,15 @@ class LuFactors
      * near-zero pivot); the factors are then invalid.
      */
     bool factor(const Matrix &a);
+
+    /**
+     * Factor `a` without copying it: the retained factor storage and
+     * `a`'s buffer are exchanged and the factorization runs in place.
+     * On return `a` holds the previously retained storage with
+     * unspecified contents (dense-dirty); callers that need `a`'s
+     * values afterwards must use factor(). @return as factor().
+     */
+    bool factorInPlace(Matrix &a);
 
     /** Solve L U x = P b in place; requires valid(). */
     void solve(std::vector<double> &b) const;
@@ -80,8 +158,13 @@ class LuFactors
     void invalidate() { valid_ = false; }
 
   private:
+    /** Eliminate the matrix already sitting in `lu`. */
+    bool factorStored();
+
     Matrix lu{0};
     std::vector<std::size_t> perm;
+    /** solve() scratch for the permuted RHS (no per-call alloc). */
+    mutable std::vector<double> scratch;
     bool valid_ = false;
 };
 

@@ -10,10 +10,86 @@
 
 namespace otft::circuit {
 
+std::vector<std::uint32_t>
+stampPattern(const Circuit &circuit)
+{
+    const std::size_t n_node = circuit.numNodes() - 1;
+    const std::size_t unknowns =
+        n_node + circuit.voltageSources().size();
+
+    std::vector<std::uint32_t> entries;
+    const auto add = [&](int r, int c) {
+        entries.push_back(static_cast<std::uint32_t>(
+            static_cast<std::size_t>(r) * unknowns +
+            static_cast<std::size_t>(c)));
+    };
+    // The conductance quad of stamp_g (and of the FET gds term).
+    const auto add_pair = [&](int ia, int ib) {
+        if (ia >= 0) {
+            add(ia, ia);
+            if (ib >= 0)
+                add(ia, ib);
+        }
+        if (ib >= 0) {
+            add(ib, ib);
+            if (ia >= 0)
+                add(ib, ia);
+        }
+    };
+    const auto index = [](NodeId node) { return node - 1; };
+
+    // gmin (and the singular-recovery boost) touch node diagonals.
+    for (std::size_t n = 0; n < n_node; ++n)
+        add(static_cast<int>(n), static_cast<int>(n));
+    for (const auto &r : circuit.resistors())
+        add_pair(index(r.a), index(r.b));
+    for (const auto &c : circuit.capacitors())
+        add_pair(index(c.a), index(c.b));
+    const auto &vsources = circuit.voltageSources();
+    for (std::size_t k = 0; k < vsources.size(); ++k) {
+        const int row = static_cast<int>(n_node + k);
+        const int ip = index(vsources[k].pos);
+        const int in = index(vsources[k].neg);
+        if (ip >= 0) {
+            add(ip, row);
+            add(row, ip);
+        }
+        if (in >= 0) {
+            add(in, row);
+            add(row, in);
+        }
+    }
+    for (const auto &fet : circuit.fets()) {
+        const int d = index(fet.drain);
+        const int g = index(fet.gate);
+        const int s = index(fet.source);
+        if (d >= 0) {
+            add(d, d);
+            if (g >= 0)
+                add(d, g);
+            if (s >= 0)
+                add(d, s);
+        }
+        if (s >= 0) {
+            add(s, s);
+            if (g >= 0)
+                add(s, g);
+            if (d >= 0)
+                add(s, d);
+        }
+    }
+
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+    return entries;
+}
+
 Mna::Mna(const Circuit &circuit, NewtonConfig config)
     : ckt(circuit), cfg(config),
       numNodeUnknowns(circuit.numNodes() - 1),
-      unknowns(numNodeUnknowns + circuit.voltageSources().size())
+      unknowns(numNodeUnknowns + circuit.voltageSources().size()),
+      pattern_(stampPattern(circuit))
 {
 }
 
@@ -42,8 +118,15 @@ Mna::assemble(const Solution &x, double time, double source_scale,
               double dt, const Solution *x_prev, Matrix *jac,
               std::vector<double> &residual) const
 {
-    if (jac != nullptr)
-        jac->clear();
+    if (jac != nullptr) {
+        // Pattern-aware zeroing: only the previously-stamped entries
+        // need resetting; everything else is still zero from the
+        // matrix's construction (assemble never writes off-pattern).
+        if (jac->denseDirty())
+            jac->clear();
+        else
+            jac->zeroEntries(pattern_);
+    }
     std::fill(residual.begin(), residual.end(), 0.0);
 
     auto volt = [&](NodeId n) { return nodeVoltage(x, n); };

@@ -12,6 +12,7 @@
 #ifndef OTFT_CIRCUIT_MNA_HPP
 #define OTFT_CIRCUIT_MNA_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -56,6 +57,17 @@ struct NewtonConfig
 
 /** A solution vector (node voltages + source branch currents). */
 using Solution = std::vector<double>;
+
+/**
+ * The Jacobian sparsity pattern of a circuit: every flattened entry
+ * (row * n + col, n = nodes - 1 + voltage sources) that an MNA
+ * assembly can write — gmin diagonals, conductance quads for
+ * resistors/capacitors, source coupling entries, FET stamps — sorted
+ * and deduplicated. Used for pattern-aware zeroing between Newton
+ * stamps (Matrix::zeroEntries) in both the scalar and the batched
+ * engine.
+ */
+std::vector<std::uint32_t> stampPattern(const Circuit &circuit);
 
 /**
  * Full per-iteration telemetry for one Newton solve, filled when a
@@ -138,6 +150,8 @@ class Mna
     NewtonConfig cfg;
     std::size_t numNodeUnknowns;
     std::size_t unknowns;
+    /** Flattened Jacobian entries assemble() writes (sorted). */
+    std::vector<std::uint32_t> pattern_;
 };
 
 } // namespace otft::circuit

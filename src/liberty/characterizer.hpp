@@ -13,6 +13,9 @@
 #ifndef OTFT_LIBERTY_CHARACTERIZER_HPP
 #define OTFT_LIBERTY_CHARACTERIZER_HPP
 
+#include <utility>
+#include <vector>
+
 #include "cells/topologies.hpp"
 #include "liberty/library.hpp"
 
@@ -48,6 +51,17 @@ struct CharacterizerConfig
      * or disabled.
      */
     bool useCache = true;
+    /**
+     * Grid points per batched-solver call: measurements are packed
+     * into lanes of one circuit::BatchedMna (see batch_solver.hpp)
+     * inside each per-cell worker task. Lane results — and therefore
+     * the cache keys and the NLDM tables — are bit-identical to the
+     * scalar engine at any width, so this is purely a throughput
+     * knob. -1 resolves parallel::batchLanes() (the --batch-lanes /
+     * OTFT_BATCH_LANES session setting); 0 forces the scalar engine.
+     * Deliberately NOT hashed into result-cache keys.
+     */
+    int batchLanes = -1;
 };
 
 /** Characterizes the six-cell organic library. */
@@ -78,7 +92,7 @@ class Characterizer
     cells::BuiltCell instantiate(const std::string &name,
                                  double load_cap) const;
 
-    /** Measure delay/slew for one (pin, slew, load) point. */
+    /** Measured delay/slew of one (pin, slew, load) point. */
     struct ArcPoint
     {
         double delayRise = 0.0;
@@ -86,8 +100,17 @@ class Characterizer
         double slewRise = 0.0;
         double slewFall = 0.0;
     };
-    ArcPoint measurePoint(const std::string &name, int pin, double slew,
-                          double load_cap) const;
+    /**
+     * Measure a group of (slew, load) coordinates of one pin, one
+     * batched-solver call wide: cache probes first, then the misses
+     * run as lanes of one batched transient. Every coordinate's
+     * numbers (and cache entries) are bit-identical to measuring it
+     * alone.
+     */
+    std::vector<ArcPoint>
+    measurePoints(const std::string &name, int pin,
+                  const std::vector<std::pair<double, double>> &coords)
+        const;
 
     /** Average static power over all input states of a cell. */
     double averageStaticPower(const std::string &name) const;

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Property tests for the lane-parallel batched solver engine: every
+ * lane of the batched LU, the batched Newton, and the batched
+ * transient must be bit-identical to running the same problem through
+ * the scalar LuFactors/Mna/TransientAnalysis path — including lanes
+ * that go singular or recover through the gmin boost. This is the
+ * contract that lets batched characterization share the scalar
+ * result-cache entries (DESIGN.md, "masked-lane lockstep").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cells/topologies.hpp"
+#include "circuit/batch_solver.hpp"
+#include "circuit/batch_transient.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/linear_solver.hpp"
+#include "util/rng.hpp"
+
+namespace otft::circuit {
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+/** Fill lane `lane` of a batched matrix and a scalar twin alike. */
+void
+fillLane(BatchedMatrix &batched, Matrix &scalar, std::size_t lane,
+         Rng &rng)
+{
+    const std::size_t n = scalar.size();
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            const double v = rng.uniform() * 20.0 - 10.0;
+            scalar.at(r, c) = v;
+            batched.at(r, c, lane) = v;
+        }
+    // Diagonal dominance on most lanes keeps the systems well posed
+    // without making the pivot search trivial.
+    if (lane % 3 != 0)
+        for (std::size_t r = 0; r < n; ++r) {
+            scalar.at(r, r) += 25.0;
+            batched.at(r, r, lane) += 25.0;
+        }
+}
+
+TEST(BatchedLu, LanesMatchScalarFactorsBitExact)
+{
+    for (std::size_t n : {1u, 2u, 3u, 5u, 9u, 16u}) {
+        Rng rng(1000 + n);
+        BatchedMatrix a(n, kLanes);
+        std::vector<Matrix> scalars(kLanes, Matrix(n));
+        std::vector<std::vector<double>> rhs(kLanes);
+        std::vector<double> b(n * kLanes, 0.0);
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            fillLane(a, scalars[lane], lane, rng);
+            rhs[lane].resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                rhs[lane][i] = rng.uniform() * 2.0 - 1.0;
+                b[i * kLanes + lane] = rhs[lane][i];
+            }
+        }
+
+        std::vector<std::size_t> all_lanes;
+        for (std::size_t lane = 0; lane < kLanes; ++lane)
+            all_lanes.push_back(lane);
+        BatchedLu lu(n, kLanes);
+        std::vector<std::uint8_t> ok(kLanes, 0);
+        lu.factor(a, all_lanes, ok);
+        lu.solve(b.data(), all_lanes);
+
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            LuFactors scalar_lu;
+            ASSERT_TRUE(scalar_lu.factor(scalars[lane]));
+            ASSERT_TRUE(ok[lane]);
+            EXPECT_TRUE(lu.valid(lane));
+            scalar_lu.solve(rhs[lane]);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(b[i * kLanes + lane], rhs[lane][i])
+                    << "n=" << n << " lane=" << lane << " i=" << i;
+        }
+    }
+}
+
+TEST(BatchedLu, SingularLaneFailsAloneOthersUnaffected)
+{
+    const std::size_t n = 6;
+    Rng rng(7);
+    BatchedMatrix a(n, kLanes);
+    std::vector<Matrix> scalars(kLanes, Matrix(n));
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        fillLane(a, scalars[lane], lane, rng);
+    // Lane 3: zero column -> no admissible pivot at k = 2.
+    for (std::size_t r = 0; r < n; ++r) {
+        a.at(r, 2, 3) = 0.0;
+        scalars[3].at(r, 2) = 0.0;
+    }
+
+    std::vector<std::size_t> all_lanes;
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        all_lanes.push_back(lane);
+    BatchedLu lu(n, kLanes);
+    std::vector<std::uint8_t> ok(kLanes, 1);
+    lu.factor(a, all_lanes, ok);
+
+    LuFactors scalar_singular;
+    EXPECT_FALSE(scalar_singular.factor(scalars[3]));
+    EXPECT_FALSE(ok[3]);
+    EXPECT_FALSE(lu.valid(3));
+
+    std::vector<std::size_t> good_lanes;
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        if (lane != 3)
+            good_lanes.push_back(lane);
+    std::vector<double> b(n * kLanes, 0.0);
+    std::vector<std::vector<double>> rhs(kLanes,
+                                         std::vector<double>(n));
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        for (std::size_t i = 0; i < n; ++i) {
+            rhs[lane][i] = rng.uniform();
+            b[i * kLanes + lane] = rhs[lane][i];
+        }
+    lu.solve(b.data(), good_lanes);
+    for (const std::size_t lane : good_lanes) {
+        ASSERT_TRUE(ok[lane]);
+        LuFactors scalar_lu;
+        ASSERT_TRUE(scalar_lu.factor(scalars[lane]));
+        scalar_lu.solve(rhs[lane]);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(b[i * kLanes + lane], rhs[lane][i]);
+    }
+}
+
+TEST(BatchedLu, MaskedRefactorKeepsFrozenLanes)
+{
+    // Chord lanes keep solving against their frozen factors while
+    // other lanes refactor: factor all lanes, refactor a subset with
+    // new values, and check the untouched lanes still reproduce their
+    // original scalar solve.
+    const std::size_t n = 5;
+    Rng rng(21);
+    BatchedMatrix a(n, kLanes);
+    std::vector<Matrix> scalars(kLanes, Matrix(n));
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        fillLane(a, scalars[lane], lane, rng);
+
+    std::vector<std::size_t> all_lanes;
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        all_lanes.push_back(lane);
+    BatchedLu lu(n, kLanes);
+    std::vector<std::uint8_t> ok(kLanes, 0);
+    lu.factor(a, all_lanes, ok);
+
+    // Overwrite even lanes with new systems and refactor only them.
+    std::vector<std::size_t> even_lanes;
+    for (std::size_t lane = 0; lane < kLanes; lane += 2) {
+        fillLane(a, scalars[lane], lane, rng);
+        even_lanes.push_back(lane);
+    }
+    lu.factor(a, even_lanes, ok);
+
+    std::vector<double> b(n * kLanes, 0.0);
+    std::vector<std::vector<double>> rhs(kLanes,
+                                         std::vector<double>(n));
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        for (std::size_t i = 0; i < n; ++i) {
+            rhs[lane][i] = rng.uniform();
+            b[i * kLanes + lane] = rhs[lane][i];
+        }
+    lu.solve(b.data(), all_lanes);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        LuFactors scalar_lu;
+        ASSERT_TRUE(scalar_lu.factor(scalars[lane]));
+        scalar_lu.solve(rhs[lane]);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(b[i * kLanes + lane], rhs[lane][i]);
+    }
+}
+
+/** Inverter lanes at different input levels. */
+struct InverterLanes
+{
+    std::vector<cells::BuiltCell> cells;
+    std::vector<const Circuit *> circuits;
+};
+
+InverterLanes
+makeInverterLanes(std::size_t lanes)
+{
+    InverterLanes out;
+    cells::CellFactory factory;
+    const double vdd = factory.supply().vdd;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        out.cells.push_back(
+            factory.inverter(cells::InverterKind::PseudoE,
+                             20e-12 * static_cast<double>(1 + lane)));
+        out.cells.back().ckt.setSourceWave(
+            out.cells.back().inputSources[0],
+            Pwl::constant(vdd * static_cast<double>(lane) /
+                          static_cast<double>(lanes - 1)));
+    }
+    for (const cells::BuiltCell &cell : out.cells)
+        out.circuits.push_back(&cell.ckt);
+    return out;
+}
+
+TEST(BatchedMna, DcNewtonMatchesScalarBitExact)
+{
+    InverterLanes lanes = makeInverterLanes(kLanes);
+    const NewtonConfig cfg;
+    BatchedMna mna(lanes.circuits, cfg);
+
+    std::vector<BatchNewtonLane> state(kLanes);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        mna.setLaneX(lane, Solution(mna.numUnknowns(), 0.0));
+        mna.setLaneStep(lane, 0.0, 1.0, 0.0);
+        state[lane].active = true;
+    }
+    mna.solveNewtonAll(state);
+
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        ASSERT_TRUE(state[lane].converged) << "lane " << lane;
+        Mna scalar(*lanes.circuits[lane], cfg);
+        Solution x = scalar.zeroSolution();
+        ASSERT_TRUE(scalar.solveNewton(x, 0.0, 1.0, 0.0, nullptr));
+        Solution batched;
+        mna.getLaneX(lane, batched);
+        ASSERT_EQ(batched.size(), x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_EQ(batched[i], x[i])
+                << "lane=" << lane << " unknown=" << i;
+    }
+}
+
+TEST(BatchedMna, GminBoostRecoveryMatchesScalar)
+{
+    // A DC-floating node (capacitor-only connection) with gmin
+    // disabled produces a singular Jacobian; both engines must
+    // recover through the identical singularGminBoost retry and land
+    // on the same bits.
+    const auto build = [](double load) {
+        Circuit ckt;
+        const NodeId a = ckt.addNode("a");
+        const NodeId fl = ckt.addNode("float");
+        ckt.addVoltageSource(a, Circuit::ground, 3.0);
+        ckt.addResistor(a, Circuit::ground, 1e6);
+        ckt.addCapacitor(a, fl, load);
+        return ckt;
+    };
+    std::vector<Circuit> ckts;
+    for (std::size_t lane = 0; lane < 4; ++lane)
+        ckts.push_back(build(1e-12 * static_cast<double>(1 + lane)));
+    std::vector<const Circuit *> circuits;
+    for (const Circuit &c : ckts)
+        circuits.push_back(&c);
+
+    NewtonConfig cfg;
+    cfg.gmin = 0.0; // force the singular path
+    ASSERT_GT(cfg.singularGminBoost, 0.0);
+
+    BatchedMna mna(circuits, cfg);
+    std::vector<BatchNewtonLane> state(circuits.size());
+    for (std::size_t lane = 0; lane < circuits.size(); ++lane) {
+        mna.setLaneX(lane, Solution(mna.numUnknowns(), 0.0));
+        mna.setLaneStep(lane, 0.0, 1.0, 0.0);
+        state[lane].active = true;
+    }
+    mna.solveNewtonAll(state);
+
+    for (std::size_t lane = 0; lane < circuits.size(); ++lane) {
+        ASSERT_TRUE(state[lane].converged) << "lane " << lane;
+        Mna scalar(*circuits[lane], cfg);
+        Solution x = scalar.zeroSolution();
+        ASSERT_TRUE(scalar.solveNewton(x, 0.0, 1.0, 0.0, nullptr));
+        Solution batched;
+        mna.getLaneX(lane, batched);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_EQ(batched[i], x[i]);
+    }
+}
+
+TEST(BatchTransient, TracesMatchScalarBitExact)
+{
+    InverterLanes lanes = makeInverterLanes(4);
+    cells::CellFactory factory;
+    const double vdd = factory.supply().vdd;
+
+    // Per-lane input edges with different ramp times, so the lanes'
+    // adaptive step sequences diverge immediately.
+    std::vector<BatchTransientSpec> specs;
+    for (std::size_t lane = 0; lane < lanes.cells.size(); ++lane) {
+        cells::BuiltCell &cell = lanes.cells[lane];
+        const double t_edge = 5e-6 * static_cast<double>(1 + lane);
+        cell.ckt.setSourceWave(
+            cell.inputSources[0],
+            Pwl::points({0.0, 10e-6, 10e-6 + t_edge},
+                        {0.0, 0.0, vdd}));
+        BatchTransientSpec spec;
+        spec.circuit = &cell.ckt;
+        spec.config.dt = 2e-6;
+        spec.config.tStop = 0.4e-3;
+        DcAnalysis dc(cell.ckt, spec.config.newton);
+        spec.initial = dc.operatingPoint();
+        specs.push_back(std::move(spec));
+    }
+
+    const std::vector<TransientResult> batched =
+        runTransientBatch(specs);
+    ASSERT_EQ(batched.size(), specs.size());
+
+    for (std::size_t lane = 0; lane < specs.size(); ++lane) {
+        const TransientResult reference =
+            TransientAnalysis(*specs[lane].circuit)
+                .run(specs[lane].config, specs[lane].initial);
+
+        ASSERT_EQ(batched[lane].time().size(),
+                  reference.time().size())
+            << "lane " << lane;
+        for (std::size_t k = 0; k < reference.time().size(); ++k)
+            EXPECT_EQ(batched[lane].time()[k], reference.time()[k]);
+        const std::size_t n_nodes =
+            specs[lane].circuit->numNodes();
+        for (std::size_t n = 0; n < n_nodes; ++n) {
+            const Trace ref =
+                reference.node(static_cast<NodeId>(n));
+            const Trace got =
+                batched[lane].node(static_cast<NodeId>(n));
+            ASSERT_EQ(got.value.size(), ref.value.size());
+            for (std::size_t k = 0; k < ref.value.size(); ++k)
+                EXPECT_EQ(got.value[k], ref.value[k])
+                    << "lane=" << lane << " node=" << n
+                    << " sample=" << k;
+        }
+        const std::size_t n_src =
+            specs[lane].circuit->voltageSources().size();
+        for (std::size_t s = 0; s < n_src; ++s) {
+            const Trace ref =
+                reference.source(static_cast<SourceId>(s));
+            const Trace got =
+                batched[lane].source(static_cast<SourceId>(s));
+            ASSERT_EQ(got.value.size(), ref.value.size());
+            for (std::size_t k = 0; k < ref.value.size(); ++k)
+                EXPECT_EQ(got.value[k], ref.value[k]);
+        }
+    }
+}
+
+TEST(BatchTransient, SingleSpecFallsBackToScalar)
+{
+    InverterLanes lanes = makeInverterLanes(2);
+    cells::BuiltCell &cell = lanes.cells[0];
+    BatchTransientSpec spec;
+    spec.circuit = &cell.ckt;
+    spec.config.dt = 2e-6;
+    spec.config.tStop = 0.1e-3;
+    DcAnalysis dc(cell.ckt, spec.config.newton);
+    spec.initial = dc.operatingPoint();
+
+    const auto batched = runTransientBatch({spec});
+    const TransientResult reference =
+        TransientAnalysis(cell.ckt).run(spec.config, spec.initial);
+    ASSERT_EQ(batched.size(), 1u);
+    ASSERT_EQ(batched[0].time().size(), reference.time().size());
+    for (std::size_t k = 0; k < reference.time().size(); ++k)
+        EXPECT_EQ(batched[0].time()[k], reference.time()[k]);
+}
+
+TEST(BatchCompatible, DetectsTopologyMismatch)
+{
+    cells::CellFactory factory;
+    const auto inv1 =
+        factory.inverter(cells::InverterKind::PseudoE, 10e-12);
+    const auto inv2 =
+        factory.inverter(cells::InverterKind::PseudoE, 40e-12);
+    const auto nand = factory.nand(2, 10e-12);
+    EXPECT_TRUE(batchCompatible(inv1.ckt, inv2.ckt));
+    EXPECT_FALSE(batchCompatible(inv1.ckt, nand.ckt));
+}
+
+} // namespace
+} // namespace otft::circuit

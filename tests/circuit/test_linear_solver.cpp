@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "circuit/linear_solver.hpp"
 #include "util/rng.hpp"
 
@@ -107,6 +109,57 @@ TEST_P(RandomSystems, ResidualIsTiny)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystems,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(LuFactors, FactorInPlaceMatchesCopyingFactor)
+{
+    // The skip-copy path must produce the same factors — i.e. the
+    // same solve bits — as the copying factor(); only the ownership
+    // of the input buffer differs.
+    for (int n : {1, 3, 7, 12}) {
+        Rng rng(static_cast<std::uint64_t>(100 + n));
+        Matrix a(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                a.at(static_cast<std::size_t>(r),
+                     static_cast<std::size_t>(c)) =
+                    rng.uniform(-1.0, 1.0) +
+                    (r == c ? static_cast<double>(n) : 0.0);
+        Matrix a_clone(static_cast<std::size_t>(n));
+        std::copy(a.raw(), a.raw() + a.size() * a.size(),
+                  a_clone.raw());
+
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto &v : b)
+            v = rng.uniform(-5.0, 5.0);
+        std::vector<double> b_in_place = b;
+
+        LuFactors copying;
+        ASSERT_TRUE(copying.factor(a));
+        copying.solve(b);
+
+        LuFactors in_place;
+        ASSERT_TRUE(in_place.factorInPlace(a_clone));
+        in_place.solve(b_in_place);
+
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(b[static_cast<std::size_t>(i)],
+                      b_in_place[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(MatrixPattern, ZeroEntriesClearsOnlyListedSlots)
+{
+    Matrix a(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a.at(r, c) = 1.0 + static_cast<double>(r * 3 + c);
+    // Flattened entries (0,0) and (2,1).
+    a.zeroEntries({0u, 7u});
+    EXPECT_EQ(a.at(0, 0), 0.0);
+    EXPECT_EQ(a.at(2, 1), 0.0);
+    EXPECT_EQ(a.at(1, 1), 5.0);
+    EXPECT_EQ(a.at(2, 2), 9.0);
+}
 
 } // namespace
 } // namespace otft::circuit
